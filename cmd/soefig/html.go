@@ -1,0 +1,187 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"soemt/internal/experiments"
+	"soemt/internal/model"
+	"soemt/internal/report"
+	"soemt/internal/sim"
+	"soemt/internal/stats"
+)
+
+// writeHTMLReport runs the full reproduction and renders a standalone
+// HTML document with SVG charts (soefig -html out.html).
+func writeHTMLReport(path string, opts experiments.Options, r *experiments.Runner) error {
+	h := &report.HTML{Title: "Fairness and Throughput in Switch on Event Multithreading — reproduction"}
+
+	// Table 3.
+	h.Heading("Table 3: machine configuration")
+	h.Table(sim.Table3(opts.Machine))
+
+	// Table 2 (analytical).
+	h.Heading("Table 2: Example 2, analytical model")
+	rows, err := model.Table2()
+	if err != nil {
+		return err
+	}
+	t2 := stats.NewTable("F", "IPSw1", "IPSw2", "slowdown1", "slowdown2", "fairness", "IPC")
+	for _, row := range rows {
+		t2.AddRow(fmt.Sprintf("%.2f", row.F),
+			fmt.Sprintf("%.0f", row.IPSw[0]), fmt.Sprintf("%.0f", row.IPSw[1]),
+			fmt.Sprintf("%.2f", row.Slowdown[0]), fmt.Sprintf("%.2f", row.Slowdown[1]),
+			fmt.Sprintf("%.2f", row.Fairness), fmt.Sprintf("%.3f", row.Total))
+	}
+	h.Table(t2)
+
+	// Figure 3 (analytical sweep).
+	h.Heading("Figure 3: throughput effect of enforcement (analytical)")
+	cases, err := model.Figure3(21)
+	if err != nil {
+		return err
+	}
+	f3 := &report.Chart{Title: "throughput delta vs F=0", XLabel: "F", YLabel: "delta [%]"}
+	for _, c := range cases {
+		if err := f3.Add(c.Label, c.F, c.DeltaPc); err != nil {
+			return err
+		}
+	}
+	h.Chart(f3)
+
+	// Figure 5 (time series).
+	h.Heading("Figure 5: detailed gcc:eon examination (F=1/4)")
+	d5, err := experiments.ExpFig5(io.Discard, r)
+	if err != nil {
+		return err
+	}
+	top := &report.Chart{Title: "estimated IPC_ST while running in SOE", XLabel: "cycle", YLabel: "IPC"}
+	top.Add("gcc est", d5.Cycles, d5.EstST[0])
+	top.Add("eon est", d5.Cycles, d5.EstST[1])
+	top.Add("gcc real", d5.Cycles, constSeries(d5.RealST[0], len(d5.Cycles)))
+	top.Add("eon real", d5.Cycles, constSeries(d5.RealST[1], len(d5.Cycles)))
+	h.Chart(top)
+	mid := &report.Chart{Title: "estimated speedups (F=1/4)", XLabel: "cycle", YLabel: "speedup"}
+	mid.Add("gcc", d5.Cycles, d5.SpeedupsF[0])
+	mid.Add("eon", d5.Cycles, d5.SpeedupsF[1])
+	h.Chart(mid)
+	bot := &report.Chart{Title: "achieved fairness per window", XLabel: "cycle", YLabel: "fairness"}
+	bot.Add("F=1/4", d5.Cycles, d5.FairF)
+	bot.Add("F=0", d5.Cycles, d5.Fair0)
+	h.Chart(bot)
+
+	// Matrix figures.
+	runs, err := r.RunAll()
+	if err != nil {
+		return err
+	}
+	groups := make([]string, len(runs))
+	for i, pr := range runs {
+		groups[i] = pr.Pair.Name()
+	}
+
+	h.Heading("Figure 6: throughput of thread combinations")
+	f6 := &report.BarChart{Title: "IPC_SOE by enforcement level", YLabel: "IPC", Groups: groups}
+	for _, f := range experiments.FLevels {
+		y := make([]float64, len(runs))
+		for i, pr := range runs {
+			y[i] = pr.ByF[f].IPCTotal
+		}
+		if err := f6.Add(fmt.Sprintf("F=%v", f), y); err != nil {
+			return err
+		}
+	}
+	stRef := make([]float64, len(runs))
+	for i, pr := range runs {
+		stRef[i] = (pr.ST[0] + pr.ST[1]) / 2
+	}
+	f6.Add("mean IPC_ST", stRef)
+	h.Bars(f6)
+	sum6, err := experiments.ExpFig6(io.Discard, runs)
+	if err != nil {
+		return err
+	}
+	h.Text("average SOE speedup over single thread: F=0 %+.1f%%, F=1/4 %+.1f%%, F=1/2 %+.1f%%, F=1 %+.1f%% (paper: 24, 21, 19, 15)",
+		(sum6.AvgSpeedupByF[0]-1)*100, (sum6.AvgSpeedupByF[0.25]-1)*100,
+		(sum6.AvgSpeedupByF[0.5]-1)*100, (sum6.AvgSpeedupByF[1]-1)*100)
+
+	h.Heading("Figure 7: throughput degradation and forced switches")
+	f7 := &report.BarChart{Title: "normalized throughput vs F=0", YLabel: "normalized IPC", Groups: groups}
+	for _, f := range experiments.FLevels[1:] {
+		y := make([]float64, len(runs))
+		for i, pr := range runs {
+			y[i] = pr.NormalizedThroughput(f)
+		}
+		f7.Add(fmt.Sprintf("F=%v", f), y)
+	}
+	h.Bars(f7)
+	f7b := &report.BarChart{Title: "forced switches per 1000 cycles", YLabel: "forced/1k", Groups: groups}
+	for _, f := range experiments.FLevels[1:] {
+		y := make([]float64, len(runs))
+		for i, pr := range runs {
+			y[i] = pr.ByF[f].ForcedPer1k()
+		}
+		f7b.Add(fmt.Sprintf("F=%v", f), y)
+	}
+	h.Bars(f7b)
+	sum7, err := experiments.ExpFig7(io.Discard, runs)
+	if err != nil {
+		return err
+	}
+	h.Text("average degradation: F=1/4 %.1f%%, F=1/2 %.1f%%, F=1 %.1f%% (paper: 2.2, 3.7, 7.2); forced-switch correlation %.2f",
+		sum7.AvgDegradationByF[0.25]*100, sum7.AvgDegradationByF[0.5]*100,
+		sum7.AvgDegradationByF[1]*100, sum7.Correlation)
+
+	h.Heading("Figure 8: achieved fairness")
+	f8 := &report.BarChart{Title: "achieved fairness by enforcement level", YLabel: "fairness", Groups: groups}
+	for _, f := range experiments.FLevels {
+		y := make([]float64, len(runs))
+		for i, pr := range runs {
+			y[i] = pr.Fairness(f)
+		}
+		f8.Add(fmt.Sprintf("F=%v", f), y)
+	}
+	h.Bars(f8)
+	sum8, err := experiments.ExpFig8(io.Discard, runs)
+	if err != nil {
+		return err
+	}
+	h.Text("average of min(F, achieved): F=1/4 %.3f±%.3f, F=1/2 %.3f±%.3f, F=1 %.3f±%.3f; %.0f%% of F=0 runs starve a thread 10-100x (paper: over a third)",
+		sum8.AvgTruncatedByF[0.25], sum8.StdTruncatedByF[0.25],
+		sum8.AvgTruncatedByF[0.5], sum8.StdTruncatedByF[0.5],
+		sum8.AvgTruncatedByF[1], sum8.StdTruncatedByF[1],
+		sum8.StarvedShareF0*100)
+
+	h.Heading("§6: time sharing vs the mechanism (gcc:eon)")
+	ts, err := experiments.ExpTimeShare(io.Discard, r)
+	if err != nil {
+		return err
+	}
+	tst := stats.NewTable("policy", "fairness", "IPC", "switches/1k")
+	for _, row := range ts.SimRows {
+		tst.AddRow(fmt.Sprintf("time share %.0f cyc", row.QuotaCycles),
+			fmt.Sprintf("%.3f", row.Fairness), fmt.Sprintf("%.3f", row.IPC),
+			fmt.Sprintf("%.2f", row.SwitchesPer1k))
+	}
+	tst.AddRow("mechanism F=1", fmt.Sprintf("%.3f", ts.SimMechanismFairness),
+		fmt.Sprintf("%.3f", ts.SimMechanismIPC), "")
+	h.Table(tst)
+	h.Text("analytical Example 2: time sharing 400 cyc gives fairness %.2f; the mechanism at F=1 gives %.2f",
+		ts.ModelTimeShareFairness, ts.ModelMechanismFairness)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return h.Render(f)
+}
+
+func constSeries(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

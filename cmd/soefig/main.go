@@ -1,0 +1,142 @@
+// Command soefig regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	soefig -exp table2|table3|fig3|fig5|fig6|fig7|fig8|example1|timeshare|all
+//	       [-scale tiny|quick|paper] [-v] [-html out.html]
+//
+// Analytical experiments (table2, fig3) are instant; simulation
+// experiments run the two-thread SOE matrix and take seconds (tiny),
+// minutes (quick) or tens of minutes (paper) depending on -scale.
+// With -html the full reproduction is rendered as a standalone HTML
+// document with SVG charts instead of text output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"soemt/internal/experiments"
+	"soemt/internal/sim"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run (table2, table3, fig3, fig5, fig6, fig7, fig8, example1, timeshare, all)")
+		scale   = flag.String("scale", "quick", "simulation scale: tiny, quick, paper")
+		verbose = flag.Bool("v", false, "print per-run progress")
+		html    = flag.String("html", "", "write a standalone HTML report with SVG charts to this file")
+		csvPath = flag.String("csv", "", "write the full evaluation matrix as tidy CSV to this file")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	switch *scale {
+	case "tiny":
+		opts.Scale = sim.Scale{CacheWarm: 50_000, Warm: 50_000, Measure: 250_000, MaxCycles: 50_000_000}
+		opts.SameOffset = 50_000
+	case "quick":
+		// defaults
+	case "paper":
+		opts = experiments.PaperOptions()
+	default:
+		fmt.Fprintf(os.Stderr, "soefig: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	r := experiments.NewRunner(opts)
+	if *verbose {
+		r.Progress = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	if *html != "" {
+		if err := writeHTMLReport(*html, opts, r); err != nil {
+			fmt.Fprintf(os.Stderr, "soefig: html report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *html)
+		return
+	}
+	if *csvPath != "" {
+		runs, err := r.RunAll()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "soefig: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "soefig: %v\n", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteCSV(f, runs); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "soefig: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *csvPath)
+		return
+	}
+
+	w := os.Stdout
+	run := func(name string) error {
+		switch name {
+		case "table2":
+			return experiments.ExpTable2(w)
+		case "table3":
+			return experiments.ExpTable3(w, opts)
+		case "fig3":
+			return experiments.ExpFig3(w)
+		case "example1":
+			return experiments.ExpExample1(w, r)
+		case "fig5":
+			_, err := experiments.ExpFig5(w, r)
+			return err
+		case "fig6":
+			runs, err := r.RunAll()
+			if err != nil {
+				return err
+			}
+			_, err = experiments.ExpFig6(w, runs)
+			return err
+		case "fig7":
+			runs, err := r.RunAll()
+			if err != nil {
+				return err
+			}
+			_, err = experiments.ExpFig7(w, runs)
+			return err
+		case "fig8":
+			runs, err := r.RunAll()
+			if err != nil {
+				return err
+			}
+			_, err = experiments.ExpFig8(w, runs)
+			return err
+		case "timeshare":
+			_, err := experiments.ExpTimeShare(w, r)
+			return err
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table3", "table2", "fig3", "example1", "fig5",
+			"fig6", "fig7", "fig8", "timeshare"}
+	}
+	for i, n := range names {
+		if i > 0 {
+			fmt.Fprintln(w, "\n"+strings.Repeat("=", 78)+"\n")
+		}
+		if err := run(n); err != nil {
+			fmt.Fprintf(os.Stderr, "soefig: %s: %v\n", n, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"soemt/internal/sim"
+	"soemt/internal/stats"
+)
+
+// dumpSamples prints the Δ-window sampling series (quota evolution),
+// used with -samples for debugging the enforcement loop.
+func dumpSamples(res *sim.Result) {
+	t := stats.NewTable("cycle", "estST0", "winIPC0", "quota0", "estST1", "winIPC1", "quota1")
+	for _, s := range res.Samples {
+		t.AddRow(fmt.Sprintf("%d", s.Cycle),
+			fmt.Sprintf("%.3f", s.Threads[0].EstIPCST),
+			fmt.Sprintf("%.3f", s.Threads[0].WindowIPC),
+			fmt.Sprintf("%.0f", s.Threads[0].Quota),
+			fmt.Sprintf("%.3f", s.Threads[1].EstIPCST),
+			fmt.Sprintf("%.3f", s.Threads[1].WindowIPC),
+			fmt.Sprintf("%.0f", s.Threads[1].Quota))
+	}
+	t.WriteTo(os.Stdout)
+}

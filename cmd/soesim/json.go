@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+
+	"soemt/internal/core"
+	"soemt/internal/sim"
+)
+
+// jsonResult is the machine-readable form of a run (-json flag).
+type jsonResult struct {
+	Policy     string             `json:"policy"`
+	WallCycles uint64             `json:"wall_cycles"`
+	IPCTotal   float64            `json:"ipc_total"`
+	Threads    []jsonThread       `json:"threads"`
+	Switches   jsonSwitches       `json:"switches"`
+	Fairness   *jsonFairnessBlock `json:"fairness,omitempty"`
+}
+
+type jsonThread struct {
+	Name     string  `json:"name"`
+	Instrs   uint64  `json:"instrs"`
+	Cycles   uint64  `json:"run_cycles"`
+	Misses   uint64  `json:"misses"`
+	IPC      float64 `json:"ipc"`
+	IPM      float64 `json:"ipm"`
+	CPM      float64 `json:"cpm"`
+	EstIPCST float64 `json:"est_ipc_st"`
+	Visits   uint64  `json:"visits"`
+	AvgVisit float64 `json:"avg_instrs_per_visit"`
+}
+
+type jsonSwitches struct {
+	Miss        uint64  `json:"miss"`
+	Quota       uint64  `json:"quota"`
+	MaxQuota    uint64  `json:"max_quota"`
+	Pause       uint64  `json:"pause"`
+	L1Miss      uint64  `json:"l1_miss"`
+	ForcedPer1k float64 `json:"forced_per_1k_cycles"`
+}
+
+type jsonFairnessBlock struct {
+	IPCST           []float64 `json:"ipc_st"`
+	Speedups        []float64 `json:"speedups"`
+	Fairness        float64   `json:"fairness"`
+	WeightedSpeedup float64   `json:"weighted_speedup"`
+	HarmonicMean    float64   `json:"harmonic_mean"`
+}
+
+// emitJSON writes the run result (and optional reference block) as
+// indented JSON to stdout.
+func emitJSON(policy string, res *sim.Result, ipcST, speedups []float64) error {
+	out := jsonResult{
+		Policy:     policy,
+		WallCycles: res.WallCycles,
+		IPCTotal:   res.IPCTotal,
+		Switches: jsonSwitches{
+			Miss:        res.Switches.Miss,
+			Quota:       res.Switches.Quota,
+			MaxQuota:    res.Switches.MaxQuota,
+			Pause:       res.Switches.Pause,
+			L1Miss:      res.Switches.L1Miss,
+			ForcedPer1k: res.ForcedPer1k(),
+		},
+	}
+	for _, tr := range res.Threads {
+		out.Threads = append(out.Threads, jsonThread{
+			Name:     tr.Name,
+			Instrs:   tr.Counters.Instrs,
+			Cycles:   tr.Counters.Cycles,
+			Misses:   tr.Counters.Misses,
+			IPC:      tr.IPC,
+			IPM:      tr.IPM,
+			CPM:      tr.CPM,
+			EstIPCST: tr.EstIPCST,
+			Visits:   tr.Visits,
+			AvgVisit: tr.AvgVisit,
+		})
+	}
+	if len(ipcST) > 0 {
+		out.Fairness = &jsonFairnessBlock{
+			IPCST:           ipcST,
+			Speedups:        speedups,
+			Fairness:        core.FairnessMetric(speedups),
+			WeightedSpeedup: core.WeightedSpeedup(speedups),
+			HarmonicMean:    core.HarmonicFairness(speedups),
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

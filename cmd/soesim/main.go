@@ -1,0 +1,205 @@
+// Command soesim runs a single SOE simulation: one or more workloads
+// on the simulated machine under a chosen switch policy, reporting
+// per-thread performance, fairness, and switch statistics.
+//
+// Examples:
+//
+//	soesim -threads gcc,eon                      # SOE without fairness
+//	soesim -threads gcc,eon -F 0.5               # enforce fairness 1/2
+//	soesim -threads gcc,eon -timeshare 400       # §6 time-share baseline
+//	soesim -threads swim                         # single-thread reference
+//	soesim -threads gcc,eon -F 1 -ref            # also run ST references,
+//	                                             # report speedups/fairness
+//	soesim -trace t1.lit,t2.lit -F 0.25          # run from trace files
+//	soesim -threads gcc,eon -F 1 -ref -json      # machine-readable output
+//	soesim -threads gcc,eon -l1-switch -prefetch 4   # §6/ablation features
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"soemt/internal/core"
+	"soemt/internal/pipeline"
+	"soemt/internal/sim"
+	"soemt/internal/stats"
+	"soemt/internal/trace"
+	"soemt/internal/workload"
+)
+
+func main() {
+	var (
+		threadsArg = flag.String("threads", "", "comma-separated workload profile names")
+		traceArg   = flag.String("trace", "", "comma-separated trace files (alternative to -threads)")
+		fArg       = flag.Float64("F", 0, "target fairness (0 disables enforcement)")
+		timeshare  = flag.Float64("timeshare", 0, "time-share cycle quota (baseline policy)")
+		scaleArg   = flag.String("scale", "quick", "tiny, quick or paper")
+		ref        = flag.Bool("ref", false, "also run single-thread references and report fairness")
+		pauseSw    = flag.Bool("pause-switch", false, "switch threads on retired PAUSE hints")
+		measured   = flag.Bool("measured-misslat", false, "estimate Miss_lat from observed stalls")
+		samples    = flag.Bool("samples", false, "dump the Δ-window sampling series")
+		smooth     = flag.Float64("smooth", 0, "EWMA alpha for IPM/CPM estimates (0 = paper behaviour)")
+		countAll   = flag.Bool("countall", false, "count all demand misses instead of switch-causing ones")
+		l1switch   = flag.Bool("l1-switch", false, "also switch on unresolved L1 misses (§6 extension)")
+		prefetch   = flag.Int("prefetch", 0, "next-line L2 prefetch degree (0 = off)")
+		jsonOut    = flag.Bool("json", false, "emit the result as JSON")
+	)
+	flag.Parse()
+
+	scale, err := parseScale(*scaleArg)
+	if err != nil {
+		fatal(err)
+	}
+	machine := sim.DefaultMachine()
+	switch {
+	case *timeshare > 0:
+		machine.Controller.Policy = core.TimeShare{QuotaCycles: *timeshare}
+	case *fArg > 0:
+		machine.Controller.Policy = core.Fairness{F: *fArg}
+	default:
+		machine.Controller.Policy = core.EventOnly{}
+	}
+	machine.Controller.SwitchOnPause = *pauseSw
+	machine.Controller.MeasureMissLat = *measured
+	machine.Controller.SmoothAlpha = *smooth
+	machine.Controller.CountAllMisses = *countAll
+	machine.Controller.SwitchOnL1Miss = *l1switch
+	machine.Memory.PrefetchDegree = *prefetch
+
+	specs, err := buildThreads(*threadsArg, *traceArg)
+	if err != nil {
+		fatal(err)
+	}
+	if len(specs) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	res, err := sim.Run(sim.Spec{Machine: machine, Threads: specs, Scale: scale})
+	if err != nil {
+		fatal(err)
+	}
+
+	refIPC := func() (ipcST, speedups []float64) {
+		var ipcSOE []float64
+		for i, ts := range specs {
+			stRes, err := sim.RunSingle(sim.DefaultMachine(), sim.ThreadSpec{
+				Profile: ts.Profile, Slot: ts.Slot, StartSeq: ts.StartSeq,
+			}, scale)
+			if err != nil {
+				fatal(err)
+			}
+			ipcSOE = append(ipcSOE, res.Threads[i].IPC)
+			ipcST = append(ipcST, stRes.Threads[0].IPC)
+		}
+		return ipcST, core.Speedups(ipcSOE, ipcST)
+	}
+
+	if *jsonOut {
+		var ipcST, sp []float64
+		if *ref && len(specs) > 1 {
+			ipcST, sp = refIPC()
+		}
+		if err := emitJSON(machine.Controller.Policy.Name(), res, ipcST, sp); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("policy: %s   cycles: %d   total IPC: %.3f\n",
+		machine.Controller.Policy.Name(), res.WallCycles, res.IPCTotal)
+	t := stats.NewTable("thread", "instrs", "run cycles", "misses", "IPC", "IPM", "est IPC_ST", "visits", "instr/visit")
+	for _, tr := range res.Threads {
+		t.AddRow(tr.Name,
+			fmt.Sprintf("%d", tr.Counters.Instrs),
+			fmt.Sprintf("%d", tr.Counters.Cycles),
+			fmt.Sprintf("%d", tr.Counters.Misses),
+			fmt.Sprintf("%.3f", tr.IPC),
+			fmt.Sprintf("%.0f", tr.IPM),
+			fmt.Sprintf("%.3f", tr.EstIPCST),
+			fmt.Sprintf("%d", tr.Visits),
+			fmt.Sprintf("%.0f", tr.AvgVisit))
+	}
+	t.WriteTo(os.Stdout)
+	sw := res.Switches
+	fmt.Printf("switches: miss=%d quota=%d maxq=%d pause=%d (forced/1k cycles: %.2f)\n",
+		sw.Miss, sw.Quota, sw.MaxQuota, sw.Pause, res.ForcedPer1k())
+	if *samples {
+		dumpSamples(res)
+	}
+
+	if *ref && len(specs) > 1 {
+		ipcST, sp := refIPC()
+		fmt.Println()
+		for i, ts := range specs {
+			fmt.Printf("%-10s IPC_ST=%.3f speedup=%.3f\n", ts.Profile.Name, ipcST[i], sp[i])
+		}
+		fmt.Printf("fairness (Eq. 4): %.3f   weighted speedup: %.3f   harmonic: %.3f\n",
+			core.FairnessMetric(sp), core.WeightedSpeedup(sp), core.HarmonicFairness(sp))
+	}
+}
+
+func parseScale(s string) (sim.Scale, error) {
+	switch s {
+	case "tiny":
+		return sim.Scale{CacheWarm: 50_000, Warm: 50_000, Measure: 250_000, MaxCycles: 50_000_000}, nil
+	case "quick":
+		return sim.QuickScale(), nil
+	case "paper":
+		return sim.PaperScale(), nil
+	}
+	return sim.Scale{}, fmt.Errorf("unknown scale %q", s)
+}
+
+func buildThreads(threadsArg, traceArg string) ([]sim.ThreadSpec, error) {
+	var specs []sim.ThreadSpec
+	if threadsArg != "" {
+		names := strings.Split(threadsArg, ",")
+		seen := map[string]int{}
+		for i, n := range names {
+			n = strings.TrimSpace(n)
+			p, ok := workload.ByName(n)
+			if !ok {
+				return nil, fmt.Errorf("unknown profile %q (try soetrace -list)", n)
+			}
+			ts := sim.ThreadSpec{Profile: p, Slot: i}
+			// Same-benchmark pairs get the paper's instruction offset.
+			if prev, dup := seen[n]; dup {
+				ts.StartSeq = uint64(prev+1) * 100_000
+			}
+			seen[n] = seen[n] + 1
+			specs = append(specs, ts)
+		}
+	}
+	if traceArg != "" {
+		for _, path := range strings.Split(traceArg, ",") {
+			f, err := os.Open(strings.TrimSpace(path))
+			if err != nil {
+				return nil, err
+			}
+			tr, err := trace.Decode(f)
+			f.Close()
+			if err != nil {
+				return nil, err
+			}
+			events := make([]pipeline.InjectedStall, len(tr.Events))
+			for j, e := range tr.Events {
+				events[j] = pipeline.InjectedStall{AtInstr: e.AtInstr, StallCycles: uint64(e.StallCycles)}
+			}
+			specs = append(specs, sim.ThreadSpec{
+				Profile:  tr.Profile,
+				Slot:     int(tr.Checkpoint.Slot),
+				StartSeq: tr.Checkpoint.StartSeq,
+				Events:   events,
+			})
+		}
+	}
+	return specs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "soesim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,257 @@
+// Command soesweep runs parameter-sensitivity sweeps on the SOE
+// simulator: the fairness target F, the memory latency, the switch
+// drain cost, the sampling period Δ, and thread-count scaling.
+//
+// Examples:
+//
+//	soesweep -sweep F -pair gcc:eon -points 9
+//	soesweep -sweep misslat -pair gcc:eon -values 100,200,300,600
+//	soesweep -sweep drain -pair swim:gzip -values 2,6,12,24,48
+//	soesweep -sweep delta -pair gcc:eon -values 50000,250000,1000000
+//	soesweep -sweep threads -bench swim -max 4
+//
+// Output is an aligned table; -csv switches to CSV for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"soemt/internal/core"
+	"soemt/internal/sim"
+	"soemt/internal/stats"
+	"soemt/internal/workload"
+)
+
+func main() {
+	var (
+		sweep  = flag.String("sweep", "F", "parameter to sweep: F, misslat, drain, delta, threads")
+		pair   = flag.String("pair", "gcc:eon", "two workloads a:b for pair sweeps")
+		bench  = flag.String("bench", "swim", "workload for -sweep threads")
+		points = flag.Int("points", 9, "number of F points for -sweep F")
+		values = flag.String("values", "", "comma-separated values for misslat/drain/delta sweeps")
+		maxThr = flag.Int("max", 4, "maximum thread count for -sweep threads")
+		fArg   = flag.Float64("F", 0.5, "fairness target for non-F sweeps (0 = event-only)")
+		scale  = flag.String("scale", "tiny", "tiny, quick or paper")
+		csv    = flag.Bool("csv", false, "emit CSV instead of a table")
+	)
+	flag.Parse()
+
+	sc, err := parseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	var tbl *stats.Table
+	switch *sweep {
+	case "F":
+		tbl, err = sweepF(*pair, *points, sc)
+	case "misslat":
+		tbl, err = sweepScalar(*pair, "misslat", parseValues(*values, "100,200,300,600"), *fArg, sc)
+	case "drain":
+		tbl, err = sweepScalar(*pair, "drain", parseValues(*values, "2,6,12,24,48"), *fArg, sc)
+	case "delta":
+		tbl, err = sweepScalar(*pair, "delta", parseValues(*values, "50000,250000,1000000"), *fArg, sc)
+	case "threads":
+		tbl, err = sweepThreads(*bench, *maxThr, *fArg, sc)
+	default:
+		err = fmt.Errorf("unknown sweep %q", *sweep)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *csv {
+		fmt.Print(tbl.CSV())
+	} else {
+		tbl.WriteTo(os.Stdout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "soesweep:", err)
+	os.Exit(1)
+}
+
+func parseScale(s string) (sim.Scale, error) {
+	switch s {
+	case "tiny":
+		return sim.Scale{CacheWarm: 50_000, Warm: 50_000, Measure: 250_000, MaxCycles: 50_000_000}, nil
+	case "quick":
+		return sim.QuickScale(), nil
+	case "paper":
+		return sim.PaperScale(), nil
+	}
+	return sim.Scale{}, fmt.Errorf("unknown scale %q", s)
+}
+
+func parseValues(s, def string) []float64 {
+	if s == "" {
+		s = def
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad value %q: %w", part, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func splitPair(pair string) (workload.Profile, workload.Profile, error) {
+	parts := strings.SplitN(pair, ":", 2)
+	if len(parts) != 2 {
+		return workload.Profile{}, workload.Profile{}, fmt.Errorf("pair must be a:b, got %q", pair)
+	}
+	a, ok := workload.ByName(parts[0])
+	if !ok {
+		return workload.Profile{}, workload.Profile{}, fmt.Errorf("unknown profile %q", parts[0])
+	}
+	b, ok := workload.ByName(parts[1])
+	if !ok {
+		return workload.Profile{}, workload.Profile{}, fmt.Errorf("unknown profile %q", parts[1])
+	}
+	return a, b, nil
+}
+
+// runPair runs a:b on machine m and returns results plus per-thread
+// speedups against fresh single-thread references.
+func runPair(m sim.MachineConfig, a, b workload.Profile, sc sim.Scale) (*sim.Result, []float64, error) {
+	var st []float64
+	for i, p := range []workload.Profile{a, b} {
+		ref, err := sim.RunSingle(sim.DefaultMachine(), sim.ThreadSpec{Profile: p, Slot: i}, sc)
+		if err != nil {
+			return nil, nil, err
+		}
+		st = append(st, ref.Threads[0].IPC)
+	}
+	res, err := sim.Run(sim.Spec{
+		Machine: m,
+		Threads: []sim.ThreadSpec{
+			{Profile: a, Slot: 0},
+			{Profile: b, Slot: 1, StartSeq: sameOffset(a, b)},
+		},
+		Scale: sc,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sp := core.Speedups([]float64{res.Threads[0].IPC, res.Threads[1].IPC}, st)
+	return res, sp, nil
+}
+
+func sameOffset(a, b workload.Profile) uint64 {
+	if a.Name == b.Name {
+		return 100_000
+	}
+	return 0
+}
+
+func policyFor(f float64) core.Policy {
+	if f <= 0 {
+		return core.EventOnly{}
+	}
+	return core.Fairness{F: f}
+}
+
+func sweepF(pair string, points int, sc sim.Scale) (*stats.Table, error) {
+	a, b, err := splitPair(pair)
+	if err != nil {
+		return nil, err
+	}
+	if points < 2 {
+		points = 2
+	}
+	tbl := stats.NewTable("F", "IPC", "fairness", "speedupA", "speedupB", "forced/1k")
+	for i := 0; i < points; i++ {
+		f := float64(i) / float64(points-1)
+		m := sim.DefaultMachine()
+		m.Controller.Policy = policyFor(f)
+		res, sp, err := runPair(m, a, b, sc)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(fmt.Sprintf("%.3f", f),
+			fmt.Sprintf("%.3f", res.IPCTotal),
+			fmt.Sprintf("%.3f", core.FairnessMetric(sp)),
+			fmt.Sprintf("%.3f", sp[0]), fmt.Sprintf("%.3f", sp[1]),
+			fmt.Sprintf("%.2f", res.ForcedPer1k()))
+	}
+	return tbl, nil
+}
+
+func sweepScalar(pair, param string, values []float64, f float64, sc sim.Scale) (*stats.Table, error) {
+	a, b, err := splitPair(pair)
+	if err != nil {
+		return nil, err
+	}
+	tbl := stats.NewTable(param, "IPC", "fairness", "switches/1k", "forced/1k")
+	for _, v := range values {
+		m := sim.DefaultMachine()
+		m.Controller.Policy = policyFor(f)
+		switch param {
+		case "misslat":
+			m.Memory.MemLatency = int(v)
+			m.Controller.MissLat = v
+		case "drain":
+			m.Controller.DrainCycles = uint64(v)
+		case "delta":
+			m.Controller.Delta = uint64(v)
+			if q := uint64(v) / 5; q < m.Controller.MaxCyclesQuota {
+				m.Controller.MaxCyclesQuota = q
+			}
+		default:
+			return nil, fmt.Errorf("unknown scalar parameter %q", param)
+		}
+		res, sp, err := runPair(m, a, b, sc)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(fmt.Sprintf("%.0f", v),
+			fmt.Sprintf("%.3f", res.IPCTotal),
+			fmt.Sprintf("%.3f", core.FairnessMetric(sp)),
+			fmt.Sprintf("%.2f", float64(res.Switches.Total())/float64(res.WallCycles)*1000),
+			fmt.Sprintf("%.2f", res.ForcedPer1k()))
+	}
+	return tbl, nil
+}
+
+// sweepThreads scales the number of copies of one workload from 1 to
+// max (Eickemeyer et al.: SOE throughput saturates around three
+// threads).
+func sweepThreads(bench string, max int, f float64, sc sim.Scale) (*stats.Table, error) {
+	prof, ok := workload.ByName(bench)
+	if !ok {
+		return nil, fmt.Errorf("unknown profile %q", bench)
+	}
+	if max < 1 {
+		max = 1
+	}
+	tbl := stats.NewTable("threads", "total IPC", "speedup vs 1", "switches/1k")
+	var base float64
+	for n := 1; n <= max; n++ {
+		m := sim.DefaultMachine()
+		m.Controller.Policy = policyFor(f)
+		var threads []sim.ThreadSpec
+		for i := 0; i < n; i++ {
+			p := prof
+			p.Seed += uint64(i) * 7919
+			threads = append(threads, sim.ThreadSpec{Profile: p, Slot: i})
+		}
+		res, err := sim.Run(sim.Spec{Machine: m, Threads: threads, Scale: sc})
+		if err != nil {
+			return nil, err
+		}
+		if n == 1 {
+			base = res.IPCTotal
+		}
+		tbl.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.3f", res.IPCTotal),
+			fmt.Sprintf("%.2fx", res.IPCTotal/base),
+			fmt.Sprintf("%.2f", float64(res.Switches.Total())/float64(res.WallCycles)*1000))
+	}
+	return tbl, nil
+}

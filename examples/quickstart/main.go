@@ -1,0 +1,57 @@
+// Quickstart: run two workloads under SOE multithreading with and
+// without fairness enforcement and compare throughput and fairness.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"soemt"
+)
+
+func main() {
+	scale := soemt.QuickScale()
+
+	// Single-thread references (the paper's IPC_ST).
+	var ipcST []float64
+	for slot, name := range []string{"gcc", "eon"} {
+		res, err := soemt.RunSingle(soemt.DefaultMachine(),
+			soemt.ThreadSpec{Profile: soemt.MustProfile(name), Slot: slot}, scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4s alone: IPC %.3f\n", name, res.Threads[0].IPC)
+		ipcST = append(ipcST, res.Threads[0].IPC)
+	}
+
+	// SOE runs at F = 0 (no enforcement) and F = 1/2.
+	run := func(label string, f float64) {
+		machine := soemt.DefaultMachine()
+		if f > 0 {
+			machine.Controller.Policy = soemt.Fairness{F: f}
+		} else {
+			machine.Controller.Policy = soemt.EventOnly{}
+		}
+		res, err := soemt.Run(soemt.Spec{
+			Machine: machine,
+			Threads: []soemt.ThreadSpec{
+				{Profile: soemt.MustProfile("gcc"), Slot: 0},
+				{Profile: soemt.MustProfile("eon"), Slot: 1},
+			},
+			Scale: scale,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp := soemt.Speedups([]float64{res.Threads[0].IPC, res.Threads[1].IPC}, ipcST)
+		fmt.Printf("\n%s\n", label)
+		fmt.Printf("  total IPC %.3f (gcc %.3f + eon %.3f)\n",
+			res.IPCTotal, res.Threads[0].IPC, res.Threads[1].IPC)
+		fmt.Printf("  speedups: gcc %.2f, eon %.2f -> fairness %.3f\n",
+			sp[0], sp[1], soemt.FairnessMetric(sp))
+		fmt.Printf("  switches: %d on misses, %d forced\n",
+			res.Switches.Miss, res.Switches.Forced())
+	}
+	run("SOE, no fairness (F=0)", 0)
+	run("SOE, fairness F=1/2", 0.5)
+}

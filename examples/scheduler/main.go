@@ -1,0 +1,67 @@
+// Scheduler: symbiotic job scheduling over SOE (Snavely-style, the
+// paper's §1.1 related work). Given a pool of jobs and a two-thread
+// SOE processor with the fairness mechanism active, sample every
+// pairing, then pick the co-schedule maximizing total weighted speedup
+// — first unconstrained, then with a fairness floor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"soemt"
+	"soemt/internal/core"
+	"soemt/internal/sched"
+	"soemt/internal/sim"
+)
+
+func main() {
+	machine := soemt.DefaultMachine()
+	machine.Controller.Policy = core.Fairness{F: 0.5}
+	scale := sim.Scale{CacheWarm: 100_000, Warm: 80_000, Measure: 300_000, MaxCycles: 60_000_000}
+
+	jobs := []sched.Job{
+		{Name: "gcc", Profile: soemt.MustProfile("gcc")},
+		{Name: "eon", Profile: soemt.MustProfile("eon")},
+		{Name: "swim", Profile: soemt.MustProfile("swim")},
+		{Name: "galgel", Profile: soemt.MustProfile("galgel")},
+		{Name: "mcf", Profile: soemt.MustProfile("mcf")},
+		{Name: "gzip", Profile: soemt.MustProfile("gzip")},
+	}
+
+	e, err := sched.NewEvaluator(machine, scale, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sampling %d pairings of %d jobs...\n\n", len(jobs)*(len(jobs)-1)/2, len(jobs))
+	scores, err := e.ScoreAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-14s %8s %9s %7s\n", "pair", "wspeedup", "fairness", "IPC")
+	for _, s := range scores {
+		fmt.Printf("%-14s %8.3f %9.3f %7.3f\n",
+			jobs[s.A].Name+":"+jobs[s.B].Name, s.WeightedSpeedup, s.Fairness, s.IPC)
+	}
+
+	best, err := sched.BestSchedule(scores, len(jobs), sched.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest schedule (max total weighted speedup %.3f):\n", best.Total)
+	for _, p := range best.Pairs {
+		fmt.Printf("  %s:%s (ws %.3f, fairness %.3f)\n",
+			jobs[p.A].Name, jobs[p.B].Name, p.WeightedSpeedup, p.Fairness)
+	}
+
+	floored, err := sched.BestSchedule(scores, len(jobs), sched.Options{MinFairness: 0.4})
+	if err != nil {
+		fmt.Printf("\nwith fairness floor 0.4: %v\n", err)
+		return
+	}
+	fmt.Printf("\nwith fairness floor 0.4 (total %.3f):\n", floored.Total)
+	for _, p := range floored.Pairs {
+		fmt.Printf("  %s:%s (ws %.3f, fairness %.3f)\n",
+			jobs[p.A].Name, jobs[p.B].Name, p.WeightedSpeedup, p.Fairness)
+	}
+}

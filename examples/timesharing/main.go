@@ -1,0 +1,67 @@
+// Timesharing: compare OS-style time sharing against the paper's
+// fairness mechanism in simulation (§6 discussion). Small time-share
+// quotas buy fairness with heavy switching; large quotas keep
+// throughput but lose fairness. The mechanism reaches its fairness
+// target with far fewer forced switches.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"soemt"
+)
+
+func main() {
+	scale := soemt.QuickScale()
+	threads := func() []soemt.ThreadSpec {
+		return []soemt.ThreadSpec{
+			{Profile: soemt.MustProfile("gcc"), Slot: 0},
+			{Profile: soemt.MustProfile("eon"), Slot: 1},
+		}
+	}
+
+	var ipcST []float64
+	for slot, name := range []string{"gcc", "eon"} {
+		res, err := soemt.RunSingle(soemt.DefaultMachine(),
+			soemt.ThreadSpec{Profile: soemt.MustProfile(name), Slot: slot}, scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ipcST = append(ipcST, res.Threads[0].IPC)
+	}
+
+	report := func(label string, res *soemt.Result) {
+		sp := soemt.Speedups([]float64{res.Threads[0].IPC, res.Threads[1].IPC}, ipcST)
+		fmt.Printf("%-24s IPC %.3f  fairness %.3f  switches/1k %.2f\n",
+			label, res.IPCTotal, soemt.FairnessMetric(sp),
+			float64(res.Switches.Miss+res.Switches.Forced())/float64(res.WallCycles)*1000)
+	}
+
+	for _, quota := range []float64{400, 2000, 10000} {
+		machine := soemt.DefaultMachine()
+		machine.Controller.Policy = soemt.TimeShare{QuotaCycles: quota}
+		res, err := soemt.Run(soemt.Spec{Machine: machine, Threads: threads(), Scale: scale})
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(fmt.Sprintf("time share %5.0f cycles", quota), res)
+	}
+
+	for _, f := range []float64{0.5, 1} {
+		machine := soemt.DefaultMachine()
+		machine.Controller.Policy = soemt.Fairness{F: f}
+		res, err := soemt.Run(soemt.Spec{Machine: machine, Threads: threads(), Scale: scale})
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(fmt.Sprintf("mechanism F=%.2g", f), res)
+	}
+
+	machine := soemt.DefaultMachine()
+	res, err := soemt.Run(soemt.Spec{Machine: machine, Threads: threads(), Scale: scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("event-only (F=0)", res)
+}

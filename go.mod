@@ -1,0 +1,3 @@
+module soemt
+
+go 1.22

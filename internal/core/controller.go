@@ -1,0 +1,385 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"soemt/internal/pipeline"
+	"soemt/internal/stats"
+	"soemt/internal/workload"
+)
+
+// Config parameterises the SOE controller. Defaults follow §4.1 of the
+// paper: Δ = 250,000 cycles, max-cycles quota 50,000, a 6-cycle drain,
+// and a constant 300-cycle miss latency for the IPC_ST estimator.
+type Config struct {
+	Delta          uint64  // counter sampling period (cycles)
+	MaxCyclesQuota uint64  // per-dispatch cycle limit (< Delta/N)
+	DrainCycles    uint64  // pipeline drain length on a switch
+	MissLat        float64 // assumed average memory latency (Eq. 13)
+	Policy         Policy  // quota policy (EventOnly, Fairness, TimeShare)
+
+	// Extensions and ablations (DESIGN.md §5):
+	NaiveDeficit   bool // reset deficit on switch-in instead of carrying leftover
+	CountAllMisses bool // count every flagged miss, not only switch-causing ones
+	MeasureMissLat bool // estimate Miss_lat from observed stalls (§6 extension)
+	SwitchOnPause  bool // treat retired PAUSE as a switch event (§6 extension)
+	SwitchOnL1Miss bool // switch on unresolved L1 misses too (§6 extension)
+
+	// SmoothAlpha, when in (0, 1), applies exponential smoothing to
+	// the per-window IPM and CPM estimates before Eq. 9:
+	// est = alpha*window + (1-alpha)*previous. The paper uses raw
+	// windows (alpha = 0 or 1 here); smoothing damps the estimate
+	// oscillation that strict enforcement (F = 1) induces when forced
+	// switches hide misses from the trigger-based counter.
+	SmoothAlpha float64
+}
+
+// DefaultConfig returns the paper's controller parameters.
+func DefaultConfig() Config {
+	return Config{
+		Delta:          250_000,
+		MaxCyclesQuota: 50_000,
+		DrainCycles:    6,
+		MissLat:        300,
+		Policy:         EventOnly{},
+	}
+}
+
+// Thread is one hardware thread context under SOE control.
+type Thread struct {
+	Name   string
+	Stream *workload.Stream
+	Events []pipeline.InjectedStall
+
+	counters stats.Window // the three per-thread hardware counters
+	retired  uint64       // instructions retired since the last stats reset
+	deficit  float64      // §3.2 deficit counter
+	quota    float64      // current IPSw_j (0 = no forced switches)
+
+	firstRetireSeen bool   // running-cycle attribution starts at first retire
+	switchInAt      uint64 // cycle the thread was last switched in
+	lastMissSeq     uint64 // dedupes miss counting while the head stalls
+	hasLastMiss     bool
+	eventIdx        int // persisted injected-event cursor
+
+	visits      uint64 // completed dispatches (switch-outs)
+	visitInstrs uint64 // instructions retired across completed visits
+	visitMark   uint64 // retired count at the last switch-in
+
+	smIPM, smCPM float64 // exponentially smoothed estimates (SmoothAlpha)
+	smValid      bool
+}
+
+// Visits returns the number of completed dispatches since the last
+// stats reset.
+func (t *Thread) Visits() uint64 { return t.visits }
+
+// AvgVisitInstrs returns the mean instructions retired per completed
+// dispatch — the realized instructions-per-switch the deficit
+// mechanism regulates toward IPSw.
+func (t *Thread) AvgVisitInstrs() float64 {
+	if t.visits == 0 {
+		return 0
+	}
+	return float64(t.visitInstrs) / float64(t.visits)
+}
+
+// Counters returns the thread's accumulated hardware counters since
+// the last stats reset.
+func (t *Thread) Counters() stats.Counters { return t.counters.Totals }
+
+// Retired returns instructions retired since the last stats reset.
+func (t *Thread) Retired() uint64 { return t.retired }
+
+// Quota returns the thread's current IPSw quota (0 = none).
+func (t *Thread) Quota() float64 { return t.quota }
+
+// SwitchStats counts thread switches by cause.
+type SwitchStats struct {
+	Miss     uint64 // last-level cache miss at the ROB head
+	Quota    uint64 // deficit counter reached zero (fairness enforcement)
+	MaxQuota uint64 // max-cycles safety quota
+	Pause    uint64 // PAUSE hint (§6 extension)
+	L1Miss   uint64 // unresolved L1 miss at the head (§6 extension)
+}
+
+// Forced returns switches induced by the mechanism rather than by
+// misses (the quantity plotted in Figure 7).
+func (s SwitchStats) Forced() uint64 { return s.Quota + s.MaxQuota + s.Pause }
+
+// Total returns all switches.
+func (s SwitchStats) Total() uint64 { return s.Miss + s.L1Miss + s.Forced() }
+
+// SampleThread is the per-thread slice of one Δ sample, kept for the
+// Figure 5 time series.
+type SampleThread struct {
+	EstIPCST  float64 // Eq. 13 estimate from the window counters
+	WindowIPC float64 // instructions retired this window / Δ (IPC_SOE_j)
+	Quota     float64 // IPSw_j chosen for the next window
+	Window    stats.Counters
+}
+
+// Sample is one Δ-cycle sampling record.
+type Sample struct {
+	Cycle   uint64
+	Threads []SampleThread
+}
+
+// Controller drives the pipeline through SOE multithreading.
+type Controller struct {
+	pipe    *pipeline.Pipeline
+	cfg     Config
+	threads []*Thread
+
+	now        uint64
+	resetAt    uint64 // cycle of the last stats reset
+	cur        int
+	switches   SwitchStats
+	samples    []Sample
+	missLatSum float64
+	missLatN   uint64
+}
+
+// NewController builds a controller over pipe and thread contexts.
+// The first thread is switched in immediately. It panics on empty
+// thread lists or a nil policy (configuration errors).
+func NewController(pipe *pipeline.Pipeline, cfg Config, threads []*Thread) *Controller {
+	if len(threads) == 0 {
+		panic("core: no threads")
+	}
+	if cfg.Policy == nil {
+		panic("core: nil policy")
+	}
+	if cfg.DrainCycles == 0 {
+		panic("core: zero drain cycles")
+	}
+	c := &Controller{pipe: pipe, cfg: cfg, threads: threads}
+	pipe.SetStream(0, threads[0].Stream, 0)
+	pipe.SetEvents(threads[0].Events)
+	threads[0].eventIdx = pipe.EventIndex()
+	return c
+}
+
+// Now returns the global cycle count.
+func (c *Controller) Now() uint64 { return c.now }
+
+// CyclesSinceReset returns cycles elapsed since the last stats reset.
+func (c *Controller) CyclesSinceReset() uint64 { return c.now - c.resetAt }
+
+// Threads returns the thread contexts.
+func (c *Controller) Threads() []*Thread { return c.threads }
+
+// Switches returns switch counts since the last stats reset.
+func (c *Controller) Switches() SwitchStats { return c.switches }
+
+// Samples returns the Δ sampling records since the last stats reset.
+func (c *Controller) Samples() []Sample { return c.samples }
+
+// Current returns the index of the running thread.
+func (c *Controller) Current() int { return c.cur }
+
+// MeasuredMissLat returns the mean observed head-stall latency, or the
+// configured constant when measurement is off or empty.
+func (c *Controller) MeasuredMissLat() float64 {
+	if !c.cfg.MeasureMissLat || c.missLatN == 0 {
+		return c.cfg.MissLat
+	}
+	return c.missLatSum / float64(c.missLatN)
+}
+
+// ResetStats zeroes all measurement state (counters, switch stats,
+// samples, per-thread retired counts) while preserving machine and
+// mechanism state (quotas, deficits, caches). Call at the end of the
+// warmup phase, mirroring the paper's exclusion of the first 1M
+// instructions.
+//
+// Quotas are recomputed from the warmup window first, so measurement
+// starts with fresh IPSw values even when the warmup was shorter than
+// one full Δ period.
+func (c *Controller) ResetStats() {
+	if c.cfg.Delta > 0 && c.now > c.resetAt {
+		c.sample()
+	}
+	for _, t := range c.threads {
+		t.counters = stats.Window{}
+		t.retired = 0
+		t.visits, t.visitInstrs, t.visitMark = 0, 0, 0
+	}
+	c.switches = SwitchStats{}
+	c.samples = nil
+	c.missLatSum, c.missLatN = 0, 0
+	c.resetAt = c.now
+	c.pipe.ResetMetrics()
+	c.pipe.Hierarchy().ResetStats()
+}
+
+// Run advances the machine until every thread has retired at least
+// target instructions since the last stats reset, or maxCycles have
+// elapsed (0 = no limit). It returns the number of cycles executed.
+func (c *Controller) Run(target uint64, maxCycles uint64) uint64 {
+	start := c.now
+	for {
+		done := true
+		for _, t := range c.threads {
+			if t.retired < target {
+				done = false
+				break
+			}
+		}
+		if done {
+			return c.now - start
+		}
+		if maxCycles > 0 && c.now-start >= maxCycles {
+			return c.now - start
+		}
+		c.Step()
+	}
+}
+
+// RunCycles advances the machine by exactly n cycles.
+func (c *Controller) RunCycles(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.Step()
+	}
+}
+
+// Step advances the machine by one cycle.
+func (c *Controller) Step() {
+	if c.cfg.Delta > 0 && c.now > c.resetAt && (c.now-c.resetAt)%c.cfg.Delta == 0 {
+		c.sample()
+	}
+
+	demandBefore := c.pipe.Metrics.DemandMisses
+	r := c.pipe.Cycle(c.now)
+	cur := c.threads[c.cur]
+
+	if r.Retired > 0 {
+		cur.firstRetireSeen = true
+	}
+	if cur.firstRetireSeen {
+		cur.counters.Totals.Cycles++
+	}
+	cur.counters.Totals.Instrs += uint64(r.Retired)
+	cur.retired += uint64(r.Retired)
+	cur.deficit -= float64(r.Retired)
+	if c.cfg.CountAllMisses {
+		cur.counters.Totals.Misses += c.pipe.Metrics.DemandMisses - demandBefore
+	}
+
+	multi := len(c.threads) > 1
+	switchNow := false
+	var reason *uint64
+
+	if r.HeadMissPending {
+		if !cur.hasLastMiss || cur.lastMissSeq != r.HeadMissSeq {
+			cur.hasLastMiss = true
+			cur.lastMissSeq = r.HeadMissSeq
+			if !c.cfg.CountAllMisses {
+				cur.counters.Totals.Misses++
+			}
+			if c.cfg.MeasureMissLat && r.HeadResolveAt > c.now {
+				c.missLatSum += float64(r.HeadResolveAt - c.now)
+				c.missLatN++
+			}
+		}
+		if multi {
+			switchNow, reason = true, &c.switches.Miss
+		}
+	}
+	if !switchNow && multi && c.cfg.SwitchOnL1Miss && r.HeadL1Pending {
+		switchNow, reason = true, &c.switches.L1Miss
+	}
+	if !switchNow && multi && c.cfg.SwitchOnPause && r.PauseRetired {
+		switchNow, reason = true, &c.switches.Pause
+	}
+	if !switchNow && multi && cur.quota > 0 && cur.deficit <= 0 && cur.firstRetireSeen {
+		switchNow, reason = true, &c.switches.Quota
+	}
+	if !switchNow && multi && c.cfg.MaxCyclesQuota > 0 &&
+		c.now >= cur.switchInAt && c.now-cur.switchInAt >= c.cfg.MaxCyclesQuota {
+		switchNow, reason = true, &c.switches.MaxQuota
+	}
+
+	if switchNow {
+		*reason++
+		c.switchThread()
+	}
+	c.now++
+}
+
+// switchThread squashes the pipeline and rotates to the next thread.
+func (c *Controller) switchThread() {
+	cur := c.threads[c.cur]
+	cur.visits++
+	cur.visitInstrs += cur.retired - cur.visitMark
+	cur.eventIdx = c.pipe.EventIndex()
+	resume := c.pipe.Squash()
+	cur.Stream.Seek(resume)
+	cur.firstRetireSeen = false
+	// lastMissSeq deliberately persists across the switch: if the
+	// thread returns before its miss resolves (possible when all other
+	// threads are also miss-bound), the re-encountered stall triggers
+	// another switch but is the SAME architectural miss and must not
+	// inflate the Misses counter.
+
+	c.cur = (c.cur + 1) % len(c.threads)
+	next := c.threads[c.cur]
+	startAt := c.now + c.cfg.DrainCycles
+	if next.quota > 0 {
+		if c.cfg.NaiveDeficit {
+			next.deficit = next.quota
+		} else {
+			// Carry the miss-truncated leftover (§3.2), saturating at
+			// twice the quota so stale credit from a phase change
+			// cannot disable enforcement indefinitely.
+			next.deficit = math.Min(next.deficit+next.quota, 2*next.quota)
+		}
+	} else {
+		next.deficit = 0
+	}
+	next.switchInAt = startAt
+	next.visitMark = next.retired
+	c.pipe.SetStream(c.cur, next.Stream, startAt)
+	c.pipe.SetEventsFrom(next.Events, next.eventIdx)
+}
+
+// sample reads the Δ-window counters, records the time series, and
+// recomputes quotas through the policy (Eqs. 9, 11–13).
+func (c *Controller) sample() {
+	missLat := c.MeasuredMissLat()
+	samples := make([]ThreadSample, len(c.threads))
+	rec := Sample{Cycle: c.now, Threads: make([]SampleThread, len(c.threads))}
+	for i, t := range c.threads {
+		win := t.counters.Sample()
+		ts := ThreadSample{Window: win, IPM: win.IPM(), CPM: win.CPM()}
+		if a := c.cfg.SmoothAlpha; a > 0 && a < 1 && win.Cycles > 0 {
+			if t.smValid {
+				t.smIPM = a*ts.IPM + (1-a)*t.smIPM
+				t.smCPM = a*ts.CPM + (1-a)*t.smCPM
+			} else {
+				t.smIPM, t.smCPM, t.smValid = ts.IPM, ts.CPM, true
+			}
+			ts.IPM, ts.CPM = t.smIPM, t.smCPM
+		}
+		ts.EstST = ts.IPM / (ts.CPM + missLat)
+		samples[i] = ts
+		rec.Threads[i] = SampleThread{
+			EstIPCST:  ts.EstST,
+			WindowIPC: float64(win.Instrs) / float64(c.cfg.Delta),
+			Window:    win,
+		}
+	}
+	quotas := c.cfg.Policy.Quotas(samples, missLat)
+	for i, t := range c.threads {
+		t.quota = quotas[i]
+		rec.Threads[i].Quota = quotas[i]
+	}
+	c.samples = append(c.samples, rec)
+}
+
+// String summarizes controller state for debugging.
+func (c *Controller) String() string {
+	return fmt.Sprintf("soe{now=%d cur=%d threads=%d switches=%+v}",
+		c.now, c.cur, len(c.threads), c.switches)
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+
+	"soemt/internal/stats"
+)
+
+// Fairness implements the paper's metric (Eq. 4): the minimum over
+// thread pairs of the ratio of speedups, which equals
+// min(speedup)/max(speedup). Speedup_j = IPC_SOE_j / IPC_ST_j.
+// It returns 1 for fewer than two threads and 0 if any speedup is
+// non-positive (a completely starved thread).
+func FairnessMetric(speedups []float64) float64 {
+	if len(speedups) < 2 {
+		return 1
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range speedups {
+		if s <= 0 {
+			return 0
+		}
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	return lo / hi
+}
+
+// WeightedSpeedup is Snavely et al.'s metric: the sum of the
+// individual threads' speedups (§1.1, §6).
+func WeightedSpeedup(speedups []float64) float64 {
+	var sum float64
+	for _, s := range speedups {
+		sum += s
+	}
+	return sum
+}
+
+// HarmonicFairness is Luo et al.'s metric: the harmonic mean of the
+// individual threads' speedups (§6). The paper's Eq. 4 metric is
+// strictly more conservative: enforcing it improves this metric but
+// not vice versa.
+func HarmonicFairness(speedups []float64) float64 {
+	return stats.HarmonicMean(speedups)
+}
+
+// Speedups divides per-thread multithreaded IPC by single-thread IPC.
+// Threads with non-positive IPC_ST yield speedup 0.
+func Speedups(ipcSOE, ipcST []float64) []float64 {
+	if len(ipcSOE) != len(ipcST) {
+		panic("core: Speedups length mismatch")
+	}
+	out := make([]float64, len(ipcSOE))
+	for i := range ipcSOE {
+		if ipcST[i] > 0 {
+			out[i] = ipcSOE[i] / ipcST[i]
+		}
+	}
+	return out
+}
+
+// TruncatedFairness returns min(target, achieved), the quantity
+// averaged in the paper's Figure 8 (right): truncation removes the
+// bias of runs that are fair even without enforcement. A target of 0
+// means no truncation (the F = 0 column).
+func TruncatedFairness(target, achieved float64) float64 {
+	if target <= 0 {
+		return achieved
+	}
+	return math.Min(target, achieved)
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"soemt/internal/stats"
+)
+
+// WriteCSV emits the full evaluation matrix as tidy data (one row per
+// pair × enforcement level), for external plotting tools.
+func WriteCSV(w io.Writer, runs []*PairRun) error {
+	t := stats.NewTable(
+		"pair", "same", "F",
+		"ipc_st_a", "ipc_st_b",
+		"ipc_soe_a", "ipc_soe_b", "ipc_total",
+		"speedup_a", "speedup_b", "fairness",
+		"soe_speedup", "normalized_throughput",
+		"switches_miss", "switches_forced", "forced_per_1k",
+		"wall_cycles",
+	)
+	for _, pr := range runs {
+		for _, f := range FLevels {
+			res := pr.ByF[f]
+			sp := pr.Speedups(f)
+			t.AddRow(
+				pr.Pair.Name(),
+				fmt.Sprintf("%t", pr.Pair.Same()),
+				fmt.Sprintf("%g", f),
+				fmt.Sprintf("%.4f", pr.ST[0]),
+				fmt.Sprintf("%.4f", pr.ST[1]),
+				fmt.Sprintf("%.4f", res.Threads[0].IPC),
+				fmt.Sprintf("%.4f", res.Threads[1].IPC),
+				fmt.Sprintf("%.4f", res.IPCTotal),
+				fmt.Sprintf("%.4f", sp[0]),
+				fmt.Sprintf("%.4f", sp[1]),
+				fmt.Sprintf("%.4f", pr.Fairness(f)),
+				fmt.Sprintf("%.4f", pr.SOESpeedup(f)),
+				fmt.Sprintf("%.4f", pr.NormalizedThroughput(f)),
+				fmt.Sprintf("%d", res.Switches.Miss),
+				fmt.Sprintf("%d", res.Switches.Forced()),
+				fmt.Sprintf("%.4f", res.ForcedPer1k()),
+				fmt.Sprintf("%d", res.WallCycles),
+			)
+		}
+	}
+	_, err := io.WriteString(w, t.CSV())
+	return err
+}

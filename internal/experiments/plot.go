@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// plotSeries is one curve of an ASCII plot.
+type plotSeries struct {
+	Label  string
+	Marker byte
+	Y      []float64
+}
+
+// asciiPlot renders one or more series over a shared X axis as a
+// fixed-height character grid — enough to eyeball the shapes the
+// paper's figures show without any plotting dependency.
+func asciiPlot(title string, xs []float64, series []plotSeries, height, width int) string {
+	if height < 4 {
+		height = 12
+	}
+	if width < 16 {
+		width = 72
+	}
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			yMin = math.Min(yMin, v)
+			yMax = math.Max(yMax, v)
+		}
+	}
+	if math.IsInf(yMin, 1) {
+		return title + " (no data)\n"
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	xMin, xMax := xs[0], xs[len(xs)-1]
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int((x - xMin) / (xMax - xMin) * float64(width-1))
+		return clampInt(c, 0, width-1)
+	}
+	row := func(y float64) int {
+		r := int((yMax - y) / (yMax - yMin) * float64(height-1))
+		return clampInt(r, 0, height-1)
+	}
+	for _, s := range series {
+		for i, v := range s.Y {
+			if i >= len(xs) || math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			grid[row(v)][col(xs[i])] = s.Marker
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, line := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.3g", yMax)
+		case height - 1:
+			label = fmt.Sprintf("%8.3g", yMin)
+		case height / 2:
+			label = fmt.Sprintf("%8.3g", (yMax+yMin)/2)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, strings.TrimRight(string(line), " "))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  %-10.3g%*s\n", "", xMin, width-10, fmt.Sprintf("%.3g", xMax))
+	for _, s := range series {
+		fmt.Fprintf(&b, "%10s%c = %s\n", "", s.Marker, s.Label)
+	}
+	return b.String()
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

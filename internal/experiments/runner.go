@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"soemt/internal/core"
+	"soemt/internal/sim"
+	"soemt/internal/workload"
+)
+
+// FLevels are the enforcement levels evaluated throughout the paper.
+var FLevels = []float64{0, 0.25, 0.5, 1}
+
+// Options configures a reproduction run.
+type Options struct {
+	Machine sim.MachineConfig
+	Scale   sim.Scale
+	// SameOffset is the instruction offset between the two threads of
+	// a same-benchmark pair (the paper uses 1,000,000).
+	SameOffset uint64
+}
+
+// DefaultOptions returns quick-scale options (shapes hold; absolute
+// values are noisier than paper scale). Use PaperOptions for the full
+// §4.1 protocol.
+func DefaultOptions() Options {
+	return Options{
+		Machine:    sim.DefaultMachine(),
+		Scale:      sim.QuickScale(),
+		SameOffset: 100_000,
+	}
+}
+
+// PaperOptions returns the full-scale protocol of §4.1.
+func PaperOptions() Options {
+	return Options{
+		Machine:    sim.DefaultMachine(),
+		Scale:      sim.PaperScale(),
+		SameOffset: 1_000_000,
+	}
+}
+
+// PairRun holds the results of one pair at every enforcement level
+// plus the single-thread references.
+type PairRun struct {
+	Pair   Pair
+	ST     [2]float64              // real single-thread IPC per thread
+	ByF    map[float64]*sim.Result // F level -> SOE result
+	STRuns [2]*sim.Result
+}
+
+// Speedups returns per-thread speedups under F (IPC_SOE_j / IPC_ST_j).
+func (pr *PairRun) Speedups(f float64) []float64 {
+	r := pr.ByF[f]
+	return core.Speedups([]float64{r.Threads[0].IPC, r.Threads[1].IPC}, pr.ST[:])
+}
+
+// Fairness returns the achieved fairness (Eq. 4) under F.
+func (pr *PairRun) Fairness(f float64) float64 {
+	return core.FairnessMetric(pr.Speedups(f))
+}
+
+// SOESpeedup returns the pair's SOE throughput gain over single
+// thread: IPC_SOE_total / mean(IPC_ST), the paper's footnote-6 metric.
+func (pr *PairRun) SOESpeedup(f float64) float64 {
+	meanST := (pr.ST[0] + pr.ST[1]) / 2
+	if meanST == 0 {
+		return 0
+	}
+	return pr.ByF[f].IPCTotal / meanST
+}
+
+// NormalizedThroughput returns IPC_SOE(F) / IPC_SOE(0), Figure 7's
+// left axis.
+func (pr *PairRun) NormalizedThroughput(f float64) float64 {
+	base := pr.ByF[0].IPCTotal
+	if base == 0 {
+		return 0
+	}
+	return pr.ByF[f].IPCTotal / base
+}
+
+// Runner executes and caches the evaluation's simulation matrix: 16
+// single-thread reference runs plus 16 pairs × len(FLevels) SOE runs.
+type Runner struct {
+	Opts Options
+
+	// Workers bounds the number of concurrent simulations in RunAll
+	// (each simulation is single-threaded and deterministic); 0 means
+	// GOMAXPROCS.
+	Workers int
+
+	mu    sync.Mutex
+	stIPC map[string]float64
+	stRes map[string]*sim.Result
+	pairs map[string]*PairRun
+
+	// Progress, if non-nil, receives one line per completed run. It
+	// may be called from multiple goroutines.
+	Progress func(format string, args ...interface{})
+}
+
+// NewRunner creates a Runner with empty caches.
+func NewRunner(opts Options) *Runner {
+	return &Runner{
+		Opts:  opts,
+		stIPC: make(map[string]float64),
+		stRes: make(map[string]*sim.Result),
+		pairs: make(map[string]*PairRun),
+	}
+}
+
+func (r *Runner) logf(format string, args ...interface{}) {
+	if r.Progress != nil {
+		r.Progress(format, args...)
+	}
+}
+
+// STRef returns (and caches) the single-thread reference result for a
+// profile. Safe for concurrent use; concurrent callers for the same
+// profile may duplicate work but agree on the cached result
+// (simulations are deterministic).
+func (r *Runner) STRef(name string) (*sim.Result, error) {
+	r.mu.Lock()
+	res, ok := r.stRes[name]
+	r.mu.Unlock()
+	if ok {
+		return res, nil
+	}
+	prof, ok := workload.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown profile %q", name)
+	}
+	res, err := sim.RunSingle(r.Opts.Machine, sim.ThreadSpec{Profile: prof, Slot: 0}, r.Opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if prev, ok := r.stRes[name]; ok {
+		res = prev // keep the first stored result
+	} else {
+		r.stRes[name] = res
+		r.stIPC[name] = res.Threads[0].IPC
+	}
+	r.mu.Unlock()
+	r.logf("ST  %-12s IPC=%.3f", name, res.Threads[0].IPC)
+	return res, nil
+}
+
+// policyFor maps an F level to the controller policy.
+func policyFor(f float64) core.Policy {
+	if f <= 0 {
+		return core.EventOnly{}
+	}
+	return core.Fairness{F: f}
+}
+
+// RunPairAt runs one pair at one enforcement level (no matrix cache).
+func (r *Runner) RunPairAt(p Pair, f float64) (*sim.Result, error) {
+	m := r.Opts.Machine
+	m.Controller.Policy = policyFor(f)
+	spec := sim.Spec{
+		Machine: m,
+		Threads: []sim.ThreadSpec{
+			{Profile: workload.MustByName(p.A), Slot: 0},
+			{Profile: workload.MustByName(p.B), Slot: 1},
+		},
+		Scale: r.Opts.Scale,
+	}
+	if p.Same() {
+		spec.Threads[1].StartSeq = r.Opts.SameOffset
+	}
+	res, err := sim.Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	r.logf("SOE %-12s F=%-4v IPC=%.3f switches=%d forced=%d",
+		p.Name(), f, res.IPCTotal, res.Switches.Total(), res.Switches.Forced())
+	return res, nil
+}
+
+// RunPair runs (and caches) the full F matrix plus ST references for
+// one pair. Safe for concurrent use.
+func (r *Runner) RunPair(p Pair) (*PairRun, error) {
+	r.mu.Lock()
+	pr, ok := r.pairs[p.Name()]
+	r.mu.Unlock()
+	if ok {
+		return pr, nil
+	}
+	pr = &PairRun{Pair: p, ByF: make(map[float64]*sim.Result)}
+	for i, name := range []string{p.A, p.B} {
+		res, err := r.STRef(name)
+		if err != nil {
+			return nil, err
+		}
+		pr.ST[i] = res.Threads[0].IPC
+		pr.STRuns[i] = res
+	}
+	for _, f := range FLevels {
+		res, err := r.RunPairAt(p, f)
+		if err != nil {
+			return nil, err
+		}
+		pr.ByF[f] = res
+	}
+	r.mu.Lock()
+	if prev, ok := r.pairs[p.Name()]; ok {
+		pr = prev
+	} else {
+		r.pairs[p.Name()] = pr
+	}
+	r.mu.Unlock()
+	return pr, nil
+}
+
+// RunAll runs the full matrix over Pairs(), distributing pairs across
+// Workers goroutines (simulations are independent and deterministic,
+// so the results do not depend on scheduling).
+func (r *Runner) RunAll() ([]*PairRun, error) {
+	ps := Pairs()
+	out := make([]*PairRun, len(ps))
+	errs := make([]error, len(ps))
+
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ps) {
+		workers = len(ps)
+	}
+
+	// Precompute ST references serially per unique profile to avoid
+	// duplicated reference runs across workers.
+	seen := map[string]bool{}
+	for _, p := range ps {
+		for _, name := range []string{p.A, p.B} {
+			if !seen[name] {
+				seen[name] = true
+				if _, err := r.STRef(name); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i], errs[i] = r.RunPair(ps[i])
+			}
+		}()
+	}
+	for i := range ps {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

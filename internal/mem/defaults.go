@@ -1,0 +1,26 @@
+package mem
+
+// DefaultConfig returns the machine's memory-hierarchy configuration
+// from DESIGN.md (Table 3 of the paper, P6-derived, sizes "slightly
+// increased" per the paper's description of a future core):
+//
+//	L1I  32 KiB, 8-way, 64 B lines, 3-cycle
+//	L1D  32 KiB, 8-way, 64 B lines, 3-cycle
+//	L2   2 MiB unified, 8-way, 64 B lines, 12-cycle
+//	ITLB 128 entries, 4-way, 4 KiB pages
+//	DTLB 256 entries, 4-way, 4 KiB pages
+//	Bus  pipelined, 4-cycle occupancy
+//	Mem  300-cycle constant latency (75 ns at 4 GHz)
+//	MSHR 16 outstanding fills
+func DefaultConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:          CacheConfig{Name: "L1I", SizeKB: 64, LineSize: 64, Ways: 8, Latency: 3},
+		L1D:          CacheConfig{Name: "L1D", SizeKB: 64, LineSize: 64, Ways: 8, Latency: 3},
+		L2:           CacheConfig{Name: "L2", SizeKB: 2048, LineSize: 64, Ways: 8, Latency: 12},
+		ITLB:         TLBConfig{Name: "ITLB", Entries: 128, Ways: 4, PageSize: 4096},
+		DTLB:         TLBConfig{Name: "DTLB", Entries: 256, Ways: 4, PageSize: 4096},
+		BusOccupancy: 4,
+		MemLatency:   300,
+		MSHRs:        16,
+	}
+}

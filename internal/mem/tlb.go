@@ -1,0 +1,123 @@
+package mem
+
+// TLBConfig describes a translation lookaside buffer.
+type TLBConfig struct {
+	Name     string
+	Entries  int // total entries
+	Ways     int // associativity
+	PageSize int // bytes per page (power of two)
+}
+
+// TLBStats counts TLB events.
+type TLBStats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns Misses/Accesses.
+func (s TLBStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type tlbEntry struct {
+	vpn      uint64
+	valid    bool
+	lastUsed uint64
+}
+
+// TLB is a set-associative translation buffer. Like Cache it models
+// presence only; translation is identity (the simulator has no
+// physical address space).
+type TLB struct {
+	cfg      TLBConfig
+	sets     [][]tlbEntry
+	setMask  uint64
+	pageBits uint
+	clock    uint64
+	Stats    TLBStats
+}
+
+// NewTLB builds a TLB. It panics on invalid geometry (configuration
+// error).
+func NewTLB(cfg TLBConfig) *TLB {
+	if cfg.PageSize <= 0 || cfg.PageSize&(cfg.PageSize-1) != 0 {
+		panic("mem: page size must be a positive power of two")
+	}
+	if cfg.Ways <= 0 || cfg.Entries <= 0 || cfg.Entries%cfg.Ways != 0 {
+		panic("mem: entries must be a positive multiple of ways")
+	}
+	nSets := cfg.Entries / cfg.Ways
+	if nSets&(nSets-1) != 0 {
+		panic("mem: TLB set count must be a power of two")
+	}
+	sets := make([][]tlbEntry, nSets)
+	backing := make([]tlbEntry, nSets*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways:cfg.Ways], backing[cfg.Ways:]
+	}
+	pageBits := uint(0)
+	for 1<<pageBits < cfg.PageSize {
+		pageBits++
+	}
+	return &TLB{cfg: cfg, sets: sets, setMask: uint64(nSets - 1), pageBits: pageBits}
+}
+
+// Config returns the TLB geometry.
+func (t *TLB) Config() TLBConfig { return t.cfg }
+
+// VPN returns the virtual page number of addr.
+func (t *TLB) VPN(addr uint64) uint64 { return addr >> t.pageBits }
+
+// Lookup probes the TLB for the page containing addr, updating LRU and
+// statistics.
+func (t *TLB) Lookup(addr uint64) bool {
+	t.Stats.Accesses++
+	t.clock++
+	vpn := t.VPN(addr)
+	set := t.sets[vpn&t.setMask]
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].lastUsed = t.clock
+			return true
+		}
+	}
+	t.Stats.Misses++
+	return false
+}
+
+// Fill installs the translation for addr's page, evicting LRU.
+func (t *TLB) Fill(addr uint64) {
+	t.clock++
+	vpn := t.VPN(addr)
+	set := t.sets[vpn&t.setMask]
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].lastUsed = t.clock
+			return
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lastUsed < set[victim].lastUsed {
+			victim = i
+		}
+	}
+	set[victim] = tlbEntry{vpn: vpn, valid: true, lastUsed: t.clock}
+}
+
+// Reset invalidates all entries and clears statistics.
+func (t *TLB) Reset() {
+	for _, set := range t.sets {
+		for i := range set {
+			set[i] = tlbEntry{}
+		}
+	}
+	t.Stats = TLBStats{}
+	t.clock = 0
+}
+
+// ResetStats clears statistics without touching contents.
+func (t *TLB) ResetStats() { t.Stats = TLBStats{} }

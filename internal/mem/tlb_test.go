@@ -1,0 +1,107 @@
+package mem
+
+import "testing"
+
+func smallTLB() *TLB {
+	return NewTLB(TLBConfig{Name: "t", Entries: 16, Ways: 4, PageSize: 4096})
+}
+
+func TestTLBMissThenHit(t *testing.T) {
+	tb := smallTLB()
+	if tb.Lookup(0x1234) {
+		t.Fatal("cold TLB must miss")
+	}
+	tb.Fill(0x1234)
+	if !tb.Lookup(0x1234) {
+		t.Fatal("filled translation must hit")
+	}
+	if !tb.Lookup(0x1fff) {
+		t.Fatal("same page must hit")
+	}
+	if tb.Lookup(0x2000) {
+		t.Fatal("next page must miss")
+	}
+	if tb.Stats.Accesses != 4 || tb.Stats.Misses != 2 {
+		t.Fatalf("stats = %+v", tb.Stats)
+	}
+}
+
+func TestTLBLRU(t *testing.T) {
+	tb := smallTLB() // 4 sets, 4 ways; pages in same set: stride 4 pages
+	pg := func(i uint64) uint64 { return i * 4 * 4096 }
+	for i := uint64(0); i < 4; i++ {
+		tb.Fill(pg(i))
+	}
+	tb.Lookup(pg(0)) // refresh
+	tb.Fill(pg(4))   // evicts pg(1)
+	if !tb.Lookup(pg(0)) {
+		t.Error("refreshed entry evicted")
+	}
+	if tb.Lookup(pg(1)) {
+		t.Error("LRU entry not evicted")
+	}
+}
+
+func TestTLBFillIdempotent(t *testing.T) {
+	tb := smallTLB()
+	tb.Fill(0x9000)
+	tb.Fill(0x9000)
+	tb.Fill(0x9000)
+	// Only one way should be consumed: three more fills to the same set
+	// must not evict it.
+	tb.Fill(0x9000 + 4*4096)
+	tb.Fill(0x9000 + 8*4096)
+	tb.Fill(0x9000 + 12*4096)
+	if !tb.Lookup(0x9000) {
+		t.Fatal("duplicate fills consumed multiple ways")
+	}
+}
+
+func TestTLBReset(t *testing.T) {
+	tb := smallTLB()
+	tb.Fill(0x4000)
+	tb.Reset()
+	if tb.Lookup(0x4000) {
+		t.Fatal("entry survives reset")
+	}
+	tb.ResetStats()
+	if tb.Stats.Accesses != 0 {
+		t.Fatal("stats survive ResetStats")
+	}
+}
+
+func TestTLBVPN(t *testing.T) {
+	tb := smallTLB()
+	if tb.VPN(0x1fff) != 1 {
+		t.Fatalf("VPN(0x1fff) = %d", tb.VPN(0x1fff))
+	}
+	if tb.VPN(0x2000) != 2 {
+		t.Fatalf("VPN(0x2000) = %d", tb.VPN(0x2000))
+	}
+}
+
+func TestTLBPanicsOnBadGeometry(t *testing.T) {
+	cases := []TLBConfig{
+		{Entries: 16, Ways: 4, PageSize: 1000}, // non-pow2 page
+		{Entries: 15, Ways: 4, PageSize: 4096}, // entries % ways != 0
+		{Entries: 0, Ways: 4, PageSize: 4096},
+		{Entries: 24, Ways: 4, PageSize: 4096}, // 6 sets: not pow2
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			NewTLB(cfg)
+		}()
+	}
+}
+
+func TestTLBMissRateZero(t *testing.T) {
+	var s TLBStats
+	if s.MissRate() != 0 {
+		t.Fatal("zero-access miss rate should be 0")
+	}
+}

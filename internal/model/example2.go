@@ -1,0 +1,104 @@
+package model
+
+// Example2System returns the paper's Example 2 configuration (§2.4,
+// Table 2): two threads with IPC_no_miss = 2.5, Miss_lat = 300,
+// Switch_lat = 25; thread 1 misses every 15,000 instructions (6,000
+// cycles), thread 2 every 1,000 instructions (400 cycles).
+func Example2System() *System {
+	return &System{
+		Threads: []ThreadParams{
+			{Name: "thread1", IPCNoMiss: 2.5, IPM: 15000},
+			{Name: "thread2", IPCNoMiss: 2.5, IPM: 1000},
+		},
+		MissLat:   300,
+		SwitchLat: 25,
+	}
+}
+
+// Table2Row is one column group of the paper's Table 2: the two
+// threads' behaviour at one enforcement level.
+type Table2Row struct {
+	F        float64
+	IPSw     [2]float64
+	IPCSOE   [2]float64
+	Slowdown [2]float64
+	Fairness float64
+	Total    float64
+}
+
+// Table2 evaluates Example 2 at the paper's three enforcement levels
+// (F = 0, 1/2, 1), reproducing Table 2.
+func Table2() ([]Table2Row, error) {
+	sys := Example2System()
+	var rows []Table2Row
+	for _, f := range []float64{0, 0.5, 1} {
+		p, err := sys.Predict(f)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{
+			F:        f,
+			IPSw:     [2]float64{p.IPSw[0], p.IPSw[1]},
+			IPCSOE:   [2]float64{p.IPCSOE[0], p.IPCSOE[1]},
+			Slowdown: [2]float64{p.Slowdown[0], p.Slowdown[1]},
+			Fairness: p.Fairness,
+			Total:    p.Total,
+		})
+	}
+	return rows, nil
+}
+
+// Fig3Case is one curve of the paper's Figure 3: a two-thread
+// combination whose throughput delta is swept over F.
+type Fig3Case struct {
+	Label   string
+	System  *System
+	F       []float64 // swept enforcement levels
+	DeltaPc []float64 // throughput change vs F=0, in percent
+}
+
+// Figure3 sweeps the analytical throughput effect of fairness
+// enforcement for the paper's thread-pair combinations: equal and
+// unequal IPC_no_miss ([2.5,2.5] and [2,3]) crossed with IPM
+// combinations. Points is the number of F values per curve (>= 2).
+func Figure3(points int) ([]Fig3Case, error) {
+	if points < 2 {
+		points = 21
+	}
+	type combo struct {
+		label string
+		ipc   [2]float64
+		ipm   [2]float64
+	}
+	combos := []combo{
+		{"IPCnm=[2.5,2.5] IPM=[15000,1000]", [2]float64{2.5, 2.5}, [2]float64{15000, 1000}},
+		{"IPCnm=[2.5,2.5] IPM=[5000,1000]", [2]float64{2.5, 2.5}, [2]float64{5000, 1000}},
+		{"IPCnm=[2,3] IPM=[15000,1000]", [2]float64{2, 3}, [2]float64{15000, 1000}},
+		{"IPCnm=[3,2] IPM=[15000,1000]", [2]float64{3, 2}, [2]float64{15000, 1000}},
+		{"IPCnm=[2,3] IPM=[1000,15000]", [2]float64{2, 3}, [2]float64{1000, 15000}},
+		{"IPCnm=[2.5,2.5] IPM=[50000,500]", [2]float64{2.5, 2.5}, [2]float64{50000, 500}},
+	}
+	var cases []Fig3Case
+	for _, cb := range combos {
+		sys := &System{
+			Threads: []ThreadParams{
+				{Name: "t1", IPCNoMiss: cb.ipc[0], IPM: cb.ipm[0]},
+				{Name: "t2", IPCNoMiss: cb.ipc[1], IPM: cb.ipm[1]},
+			},
+			MissLat:   300,
+			SwitchLat: 25,
+		}
+		fc := Fig3Case{Label: cb.label, System: sys}
+		for i := 0; i < points; i++ {
+			f := float64(i) / float64(points-1)
+			delta, err := sys.ThroughputDelta(f)
+			if err != nil {
+				return nil, err
+			}
+			fc.F = append(fc.F, f)
+			fc.DeltaPc = append(fc.DeltaPc, delta*100)
+		}
+		cases = append(cases, fc)
+	}
+	return cases, nil
+}

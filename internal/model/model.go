@@ -1,0 +1,198 @@
+// Package model implements the paper's analytical model of SOE
+// fairness and throughput (Section 2, Equations 1–10).
+//
+// A thread is modelled as a sequence of instruction bursts delimited
+// by last-level cache misses: IPM instructions and CPM cycles between
+// consecutive misses, a fixed Miss_lat stall per miss when running
+// alone, and a Switch_lat overhead per thread switch when running
+// under SOE. The model predicts per-thread and aggregate IPC with and
+// without enforced fairness, and yields the IPSw quotas (Eq. 9) that
+// guarantee a target fairness F.
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// ThreadParams characterises one thread for the analytical model.
+type ThreadParams struct {
+	Name      string
+	IPCNoMiss float64 // IPC excluding miss stalls (paper's IPC_no_miss)
+	IPM       float64 // instructions per last-level cache miss
+}
+
+// Validate reports parameter errors.
+func (t ThreadParams) Validate() error {
+	if t.IPCNoMiss <= 0 {
+		return fmt.Errorf("model: %s: IPCNoMiss must be positive", t.Name)
+	}
+	if t.IPM <= 0 {
+		return fmt.Errorf("model: %s: IPM must be positive", t.Name)
+	}
+	return nil
+}
+
+// CPM returns cycles per miss excluding the miss stall: IPM/IPCNoMiss.
+func (t ThreadParams) CPM() float64 { return t.IPM / t.IPCNoMiss }
+
+// IPCST returns the single-thread IPC (Eq. 1):
+// IPM / (CPM + Miss_lat).
+func (t ThreadParams) IPCST(missLat float64) float64 {
+	return t.IPM / (t.CPM() + missLat)
+}
+
+// System is a set of threads sharing an SOE processor.
+type System struct {
+	Threads   []ThreadParams
+	MissLat   float64 // average memory access latency (cycles)
+	SwitchLat float64 // average switch overhead (cycles)
+}
+
+// Validate reports configuration errors.
+func (s *System) Validate() error {
+	if len(s.Threads) == 0 {
+		return fmt.Errorf("model: no threads")
+	}
+	if s.MissLat < 0 || s.SwitchLat < 0 {
+		return fmt.Errorf("model: negative latency")
+	}
+	for _, t := range s.Threads {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CPMMin returns the minimum CPM across threads.
+func (s *System) CPMMin() float64 {
+	m := math.Inf(1)
+	for _, t := range s.Threads {
+		if c := t.CPM(); c < m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Prediction is the model's output for one fairness setting.
+type Prediction struct {
+	F        float64   // target fairness used (0 = event-only SOE)
+	IPSw     []float64 // per-thread instructions per switch (Eq. 9)
+	CPSw     []float64 // per-thread cycles per switch
+	IPCSOE   []float64 // per-thread IPC under SOE (Eq. 6)
+	IPCST    []float64 // per-thread single-thread IPC (Eq. 1)
+	Speedup  []float64 // IPC_SOE_j / IPC_ST_j
+	Slowdown []float64 // IPC_ST_j / IPC_SOE_j
+	Total    float64   // aggregate throughput IPC_SOE (Eq. 10)
+	Fairness float64   // achieved fairness (Eq. 4)
+}
+
+// Predict evaluates the model for target fairness f (f = 0 disables
+// enforcement: threads switch only on misses, IPSw_j = IPM_j).
+func (s *System) Predict(f float64) (*Prediction, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if f < 0 || f > 1 {
+		return nil, fmt.Errorf("model: F = %v out of [0, 1]", f)
+	}
+	n := len(s.Threads)
+	p := &Prediction{
+		F:        f,
+		IPSw:     make([]float64, n),
+		CPSw:     make([]float64, n),
+		IPCSOE:   make([]float64, n),
+		IPCST:    make([]float64, n),
+		Speedup:  make([]float64, n),
+		Slowdown: make([]float64, n),
+	}
+	cpmMin := s.CPMMin()
+	for i, t := range s.Threads {
+		p.IPCST[i] = t.IPCST(s.MissLat)
+		if f == 0 {
+			p.IPSw[i] = t.IPM
+		} else {
+			// Eq. 9.
+			p.IPSw[i] = math.Min(t.IPM, p.IPCST[i]/f*(cpmMin+s.MissLat))
+		}
+		// Between switches the thread runs at IPC_no_miss (miss stalls
+		// are hidden by the other threads).
+		p.CPSw[i] = p.IPSw[i] / t.IPCNoMiss
+	}
+	// One SOE round: every thread runs CPSw_k plus a switch overhead
+	// (Eq. 6 denominator).
+	var round float64
+	for i := range s.Threads {
+		round += p.CPSw[i] + s.SwitchLat
+	}
+	for i := range s.Threads {
+		p.IPCSOE[i] = p.IPSw[i] / round // Eq. 6
+		p.Speedup[i] = p.IPCSOE[i] / p.IPCST[i]
+		p.Slowdown[i] = p.IPCST[i] / p.IPCSOE[i]
+		p.Total += p.IPCSOE[i] // Eq. 10
+	}
+	p.Fairness = fairnessOf(p.Speedup) // Eq. 4
+	return p, nil
+}
+
+// fairnessOf is Eq. 4: min over pairs of speedup ratios.
+func fairnessOf(speedups []float64) float64 {
+	if len(speedups) < 2 {
+		return 1
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range speedups {
+		if s <= 0 {
+			return 0
+		}
+		lo = math.Min(lo, s)
+		hi = math.Max(hi, s)
+	}
+	return lo / hi
+}
+
+// ThroughputDelta returns the model-predicted relative throughput
+// change of enforcing fairness f versus event-only SOE:
+// (IPC_SOE(f) - IPC_SOE(0)) / IPC_SOE(0). Negative values are
+// degradation. This is the quantity swept in the paper's Figure 3.
+func (s *System) ThroughputDelta(f float64) (float64, error) {
+	base, err := s.Predict(0)
+	if err != nil {
+		return 0, err
+	}
+	enforced, err := s.Predict(f)
+	if err != nil {
+		return 0, err
+	}
+	return (enforced.Total - base.Total) / base.Total, nil
+}
+
+// TimeShareFairness predicts the achieved fairness of simple time
+// sharing with equal per-thread cycle quotas (the §6 discussion):
+// each thread runs quotaCycles between switches regardless of its
+// characteristics, so thread j executes quotaCycles·IPC_no_miss_j
+// instructions per round.
+func (s *System) TimeShareFairness(quotaCycles float64) (fairness float64, speedups []float64, err error) {
+	if err := s.Validate(); err != nil {
+		return 0, nil, err
+	}
+	if quotaCycles <= 0 {
+		return 0, nil, fmt.Errorf("model: quota must be positive")
+	}
+	n := len(s.Threads)
+	round := float64(n) * (quotaCycles + s.SwitchLat)
+	speedups = make([]float64, n)
+	for i, t := range s.Threads {
+		ipcSOE := quotaCycles * t.IPCNoMiss / round
+		// A thread cannot exceed its own miss-limited pace: if the
+		// quota exceeds IPM-worth of cycles, misses still bound it.
+		// (With quota <= CPM this correction is inactive.)
+		if maxIPC := t.IPM / round * math.Ceil(quotaCycles/t.CPM()); quotaCycles > t.CPM() && ipcSOE > maxIPC {
+			ipcSOE = maxIPC
+		}
+		speedups[i] = ipcSOE / t.IPCST(s.MissLat)
+	}
+	return fairnessOf(speedups), speedups, nil
+}

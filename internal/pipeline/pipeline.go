@@ -1,0 +1,637 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"soemt/internal/branch"
+	"soemt/internal/isa"
+	"soemt/internal/mem"
+	"soemt/internal/workload"
+)
+
+// robEntry is one re-order buffer slot.
+type robEntry struct {
+	uop       isa.Uop
+	id        uint64 // monotonic ROB id; slot = id % ROBSize
+	done      bool
+	issued    bool
+	doneAt    uint64
+	missFlag  bool // execution involved an unresolved L2 miss / walk miss
+	l1Flag    bool // L1 miss that hit in L2 (§6 L1-switching extension)
+	predTaken bool // fetch-time direction prediction (branches)
+}
+
+// rsEntry is one reservation-station slot.
+type rsEntry struct {
+	valid  bool
+	robID  uint64
+	src1   uint64 // producer ROB ids
+	src2   uint64
+	has1   bool
+	has2   bool
+	seqNum uint64 // allocation order for oldest-first scheduling
+}
+
+// fetchedUop is a front-end queue slot.
+type fetchedUop struct {
+	uop       isa.Uop
+	readyAt   uint64 // earliest rename cycle (icache + decode depth)
+	predTaken bool
+}
+
+// storeBufEntry is a retired store awaiting cache dispatch. Entries
+// survive thread switches (the paper: "the store buffer keeps
+// dispatching retired stores even after a flush").
+type storeBufEntry struct {
+	addr uint64
+	tid  int
+}
+
+// InjectedStall is a LIT-style external event: when the architectural
+// instruction counter reaches AtInstr, retirement stalls for
+// StallCycles (interrupt/IO/DMA handling time).
+type InjectedStall struct {
+	AtInstr     uint64
+	StallCycles uint64
+}
+
+// Metrics counts pipeline events since construction (or ResetMetrics).
+type Metrics struct {
+	Fetched      uint64
+	Retired      uint64
+	Squashed     uint64
+	MissFlagged  uint64 // micro-ops flagged with an L2/walk miss at execute
+	DemandMisses uint64 // non-coalesced flagged misses (first of each overlapped group)
+	FwdLoads     uint64 // loads satisfied by store-buffer forwarding
+	RenameStalls uint64 // cycles rename was blocked by a full backend
+
+	Cycles       uint64 // cycles simulated
+	ROBOccupancy uint64 // sum of per-cycle ROB occupancy (avg = /Cycles)
+	RSOccupancy  uint64 // sum of per-cycle RS occupancy
+}
+
+// AvgROBOccupancy returns mean in-flight ROB entries per cycle.
+func (m Metrics) AvgROBOccupancy() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(m.ROBOccupancy) / float64(m.Cycles)
+}
+
+// AvgRSOccupancy returns mean occupied reservation stations per cycle.
+func (m Metrics) AvgRSOccupancy() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(m.RSOccupancy) / float64(m.Cycles)
+}
+
+// CycleResult reports what one cycle produced, for the SOE controller.
+type CycleResult struct {
+	Retired int // micro-ops retired this cycle
+
+	// HeadMissPending is the paper's switch trigger: the next-to-retire
+	// micro-op is flagged as handling a miss that has not resolved.
+	HeadMissPending bool
+	HeadMissSeq     uint64 // architectural seq of the pending micro-op
+	HeadResolveAt   uint64 // cycle at which its miss resolves
+
+	// HeadL1Pending reports an unresolved L1 miss (L2 hit) at the
+	// head — the §6 extension's optional switch trigger.
+	HeadL1Pending bool
+
+	PauseRetired bool // a PAUSE hint retired this cycle (§6 extension)
+}
+
+// Pipeline is the out-of-order core. It executes one thread at a time
+// (SOE); the controller switches threads with Squash + SetStream.
+type Pipeline struct {
+	cfg  Config
+	hier *mem.Hierarchy
+	bu   *branch.Unit
+
+	// Thread context.
+	tid    int
+	stream *workload.Stream
+
+	// ROB ring buffer.
+	rob    []robEntry
+	headID uint64
+	nextID uint64
+
+	// Reservation stations and load-buffer occupancy.
+	rs      []rsEntry
+	rsCount int
+	lbCount int
+
+	// Register rename: logical register -> producing ROB id.
+	renameMap [isa.NumRegs]struct {
+		id    uint64
+		valid bool
+	}
+
+	// Front end.
+	fetchQ       []fetchedUop
+	fqHead       int
+	fqCount      int
+	fetchStall   uint64 // no fetch before this cycle
+	brBlocked    bool   // fetch blocked on an unresolved mispredict
+	brBlockSeq   uint64 // seq of the blocking branch
+	rsSeqCounter uint64
+
+	// Execution ports.
+	portBusy [isa.NumPorts]uint64
+
+	// Store buffer (survives squash).
+	storeBuf []storeBufEntry
+
+	// Architectural position: seq of the next micro-op to retire.
+	nextArchSeq uint64
+
+	// Injected external events (sorted by AtInstr) and cursor.
+	events     []InjectedStall
+	eventIdx   int
+	eventStall uint64 // retirement stalled until this cycle
+
+	// Scratch to avoid per-cycle allocation.
+	retireScratch []isa.Uop
+
+	Metrics Metrics
+}
+
+// New builds a pipeline. It panics on invalid configuration.
+func New(cfg Config, hier *mem.Hierarchy, bu *branch.Unit) *Pipeline {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Pipeline{
+		cfg:    cfg,
+		hier:   hier,
+		bu:     bu,
+		rob:    make([]robEntry, cfg.ROBSize),
+		rs:     make([]rsEntry, cfg.RSSize),
+		fetchQ: make([]fetchedUop, cfg.FetchQSize),
+	}
+}
+
+// Config returns the pipeline configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Hierarchy returns the attached memory hierarchy.
+func (p *Pipeline) Hierarchy() *mem.Hierarchy { return p.hier }
+
+// BranchUnit returns the attached branch unit.
+func (p *Pipeline) BranchUnit() *branch.Unit { return p.bu }
+
+// Tid returns the current thread id.
+func (p *Pipeline) Tid() int { return p.tid }
+
+// NextArchSeq returns the architectural position: the sequence number
+// of the next micro-op to retire.
+func (p *Pipeline) NextArchSeq() uint64 { return p.nextArchSeq }
+
+// SetEvents installs the injected external-event schedule for the
+// current thread, skipping events before the current architectural
+// position. Events must be sorted by AtInstr.
+func (p *Pipeline) SetEvents(events []InjectedStall) {
+	idx := 0
+	for idx < len(events) && events[idx].AtInstr < p.nextArchSeq {
+		idx++
+	}
+	p.SetEventsFrom(events, idx)
+}
+
+// SetEventsFrom installs an event schedule with an explicit cursor.
+// The SOE controller uses this to persist each thread's fired-event
+// position across switches (an event applies its stall once; the
+// remainder of a stall interrupted by a switch is dropped).
+func (p *Pipeline) SetEventsFrom(events []InjectedStall, idx int) {
+	p.events = events
+	p.eventIdx = idx
+	p.eventStall = 0
+}
+
+// EventIndex returns the current event cursor (events before it have
+// fired).
+func (p *Pipeline) EventIndex() int { return p.eventIdx }
+
+// SetStream installs a thread context. startAt is the earliest cycle
+// the front end may fetch (the controller passes switch-in time after
+// the drain). The stream must already be positioned at the thread's
+// resume point.
+func (p *Pipeline) SetStream(tid int, s *workload.Stream, startAt uint64) {
+	p.tid = tid
+	p.stream = s
+	p.nextArchSeq = s.Pos()
+	p.fetchStall = startAt
+	p.brBlocked = false
+	p.events = nil
+	p.eventIdx = 0
+	p.eventStall = 0
+}
+
+// Squash drains all in-flight state (thread switch). It returns the
+// architectural sequence number at which the thread must resume; the
+// controller seeks the thread's stream there before switching back in.
+// The store buffer is retained (its entries are architecturally
+// retired).
+func (p *Pipeline) Squash() uint64 {
+	p.Metrics.Squashed += p.nextID - p.headID + uint64(p.fqCount)
+	p.headID = 0
+	p.nextID = 0
+	for i := range p.rob {
+		p.rob[i] = robEntry{}
+	}
+	for i := range p.rs {
+		p.rs[i] = rsEntry{}
+	}
+	p.rsCount = 0
+	p.lbCount = 0
+	p.fqHead = 0
+	p.fqCount = 0
+	p.brBlocked = false
+	for i := range p.renameMap {
+		p.renameMap[i].valid = false
+	}
+	for i := range p.portBusy {
+		p.portBusy[i] = 0
+	}
+	return p.nextArchSeq
+}
+
+// Drained reports whether no in-flight micro-ops remain (ROB and fetch
+// queue empty). The store buffer is allowed to be non-empty.
+func (p *Pipeline) Drained() bool {
+	return p.headID == p.nextID && p.fqCount == 0
+}
+
+// ROBOccupancy returns the number of in-flight ROB entries.
+func (p *Pipeline) ROBOccupancy() int { return int(p.nextID - p.headID) }
+
+// StoreBufLen returns the store-buffer occupancy.
+func (p *Pipeline) StoreBufLen() int { return len(p.storeBuf) }
+
+// ResetMetrics clears the metric counters.
+func (p *Pipeline) ResetMetrics() { p.Metrics = Metrics{} }
+
+func (p *Pipeline) entry(id uint64) *robEntry {
+	return &p.rob[id%uint64(len(p.rob))]
+}
+
+// producerDone reports whether the producer with ROB id has produced
+// its result by cycle `now` (retired producers count as done).
+func (p *Pipeline) producerDone(id uint64, now uint64) bool {
+	if id < p.headID {
+		return true // retired
+	}
+	e := p.entry(id)
+	return e.done && e.doneAt <= now
+}
+
+// Cycle advances the machine by one cycle at global time `now`. Calls
+// must use strictly increasing `now` values.
+func (p *Pipeline) Cycle(now uint64) CycleResult {
+	var res CycleResult
+	p.Metrics.Cycles++
+	p.Metrics.ROBOccupancy += uint64(p.ROBOccupancy())
+	p.Metrics.RSOccupancy += uint64(p.rsCount)
+	p.retire(now, &res)
+	p.dispatchStores(now)
+	p.issue(now)
+	p.rename(now)
+	p.fetch(now)
+	return res
+}
+
+// retire retires completed micro-ops in order, detecting the SOE
+// switch trigger and applying injected event stalls.
+func (p *Pipeline) retire(now uint64, res *CycleResult) {
+	if now < p.eventStall {
+		return
+	}
+	for retired := 0; retired < p.cfg.RetireWidth && p.headID < p.nextID; retired++ {
+		e := p.entry(p.headID)
+		if !e.done || e.doneAt > now {
+			if e.missFlag && e.doneAt > now {
+				res.HeadMissPending = true
+				res.HeadMissSeq = e.uop.Seq
+				res.HeadResolveAt = e.doneAt
+			} else if e.l1Flag && e.doneAt > now {
+				res.HeadL1Pending = true
+				res.HeadMissSeq = e.uop.Seq
+				res.HeadResolveAt = e.doneAt
+			}
+			return
+		}
+		// Injected external events fire when their instruction reaches
+		// retirement.
+		if p.eventIdx < len(p.events) && e.uop.Seq >= p.events[p.eventIdx].AtInstr {
+			p.eventStall = now + p.events[p.eventIdx].StallCycles
+			p.eventIdx++
+			return
+		}
+		if e.uop.Kind == isa.Store {
+			if len(p.storeBuf) >= p.cfg.StoreBufSize {
+				return // store buffer full: retirement blocks
+			}
+			p.storeBuf = append(p.storeBuf, storeBufEntry{addr: e.uop.Addr, tid: p.tid})
+		}
+		if e.uop.Kind == isa.Load {
+			p.lbCount--
+		}
+		if e.uop.Kind == isa.Pause {
+			res.PauseRetired = true
+		}
+		// Architectural register release.
+		if e.uop.HasDst() {
+			rm := &p.renameMap[e.uop.Dst]
+			if rm.valid && rm.id == e.id {
+				rm.valid = false
+			}
+		}
+		p.headID++
+		p.nextArchSeq = e.uop.Seq + 1
+		p.Metrics.Retired++
+		res.Retired++
+	}
+}
+
+// dispatchStores sends one retired store per cycle to the data cache.
+func (p *Pipeline) dispatchStores(now uint64) {
+	if len(p.storeBuf) == 0 {
+		return
+	}
+	sb := p.storeBuf[0]
+	p.hier.AccessData(now, sb.addr, true)
+	copy(p.storeBuf, p.storeBuf[1:])
+	p.storeBuf = p.storeBuf[:len(p.storeBuf)-1]
+}
+
+// issue selects ready reservation-station entries, oldest first, and
+// begins execution on free ports.
+func (p *Pipeline) issue(now uint64) {
+	// Oldest-first: scan by seqNum. RS is small (tens of entries), so a
+	// simple selection scan per issue slot is fine.
+	for issued := 0; issued < len(p.rs); issued++ {
+		best := -1
+		var bestSeq uint64
+		for i := range p.rs {
+			e := &p.rs[i]
+			if !e.valid {
+				continue
+			}
+			if best != -1 && e.seqNum >= bestSeq {
+				continue
+			}
+			if e.has1 && !p.producerDone(e.src1, now) {
+				continue
+			}
+			if e.has2 && !p.producerDone(e.src2, now) {
+				continue
+			}
+			if !p.portFree(p.entry(e.robID).uop.Kind, now) {
+				continue
+			}
+			best, bestSeq = i, e.seqNum
+		}
+		if best == -1 {
+			return
+		}
+		e := &p.rs[best]
+		p.execute(now, p.entry(e.robID))
+		*e = rsEntry{}
+		p.rsCount--
+	}
+}
+
+func (p *Pipeline) portFree(kind isa.Kind, now uint64) bool {
+	ports := isa.PortsFor(kind)
+	if len(ports) == 0 {
+		return true
+	}
+	for _, port := range ports {
+		if p.portBusy[port] <= now {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pipeline) claimPort(kind isa.Kind, now, until uint64) {
+	for _, port := range isa.PortsFor(kind) {
+		if p.portBusy[port] <= now {
+			p.portBusy[port] = until
+			return
+		}
+	}
+	panic("pipeline: claimPort called with no free port")
+}
+
+// execute starts execution of a ROB entry at cycle now.
+func (p *Pipeline) execute(now uint64, e *robEntry) {
+	e.issued = true
+	kind := e.uop.Kind
+	switch kind {
+	case isa.Load:
+		// Forwarding from the store buffer (same thread, same address).
+		if p.forwardable(e.uop.Addr) {
+			e.doneAt = now + 1
+			p.Metrics.FwdLoads++
+		} else {
+			walk := p.hier.TranslateData(now, e.uop.Addr)
+			acc := p.hier.AccessData(walk.DoneAt, e.uop.Addr, false)
+			e.doneAt = acc.DoneAt
+			e.missFlag = acc.L2Miss || walk.L2Miss
+			e.l1Flag = acc.L1Miss && !e.missFlag
+			if e.missFlag {
+				p.Metrics.MissFlagged++
+				if (acc.L2Miss && !acc.Coalesced) || walk.L2Miss {
+					p.Metrics.DemandMisses++
+				}
+			}
+		}
+		p.claimPort(kind, now, now+1)
+	case isa.Store:
+		// Address generation + translation; data is written at
+		// post-retire dispatch.
+		walk := p.hier.TranslateData(now, e.uop.Addr)
+		e.doneAt = walk.DoneAt
+		if walk.DoneAt <= now {
+			e.doneAt = now + 1
+		}
+		e.missFlag = walk.L2Miss
+		if e.missFlag {
+			p.Metrics.MissFlagged++
+			p.Metrics.DemandMisses++
+		}
+		p.claimPort(kind, now, now+1)
+	case isa.Branch:
+		e.doneAt = now + uint64(isa.Latency[kind])
+		p.bu.Resolve(e.uop.PC, e.predTaken, e.uop.Taken, e.uop.Target)
+		if p.brBlocked && p.brBlockSeq == e.uop.Seq {
+			// Mispredict resolved: redirect the front end.
+			p.brBlocked = false
+			resume := e.doneAt + uint64(p.cfg.RedirectPenalty)
+			if resume > p.fetchStall {
+				p.fetchStall = resume
+			}
+		}
+		p.claimPort(kind, now, now+1)
+	default:
+		lat := uint64(isa.Latency[kind])
+		e.doneAt = now + lat
+		until := now + 1
+		if !isa.Pipelined(kind) {
+			until = e.doneAt
+		}
+		p.claimPort(kind, now, until)
+	}
+	e.done = true // result timing carried by doneAt
+}
+
+// forwardable reports whether a load can forward from the store
+// buffer.
+func (p *Pipeline) forwardable(addr uint64) bool {
+	for _, sb := range p.storeBuf {
+		if sb.tid == p.tid && sb.addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// rename moves micro-ops from the fetch queue into the ROB/RS.
+func (p *Pipeline) rename(now uint64) {
+	for n := 0; n < p.cfg.RenameWidth; n++ {
+		if p.fqCount == 0 {
+			return
+		}
+		f := &p.fetchQ[p.fqHead]
+		if f.readyAt > now {
+			return
+		}
+		if int(p.nextID-p.headID) >= p.cfg.ROBSize {
+			p.Metrics.RenameStalls++
+			return
+		}
+		needRS := f.uop.Kind != isa.Nop && f.uop.Kind != isa.Pause
+		if needRS && p.rsCount >= p.cfg.RSSize {
+			p.Metrics.RenameStalls++
+			return
+		}
+		if f.uop.Kind == isa.Load && p.lbCount >= p.cfg.LoadBufSize {
+			p.Metrics.RenameStalls++
+			return
+		}
+
+		id := p.nextID
+		p.nextID++
+		e := p.entry(id)
+		*e = robEntry{uop: f.uop, id: id, predTaken: f.predTaken}
+
+		if needRS {
+			var rse rsEntry
+			rse.valid = true
+			rse.robID = id
+			rse.seqNum = p.rsSeqCounter
+			p.rsSeqCounter++
+			if f.uop.Src1.Valid() {
+				if rm := p.renameMap[f.uop.Src1]; rm.valid {
+					rse.src1, rse.has1 = rm.id, true
+				}
+			}
+			if f.uop.Src2.Valid() {
+				if rm := p.renameMap[f.uop.Src2]; rm.valid {
+					rse.src2, rse.has2 = rm.id, true
+				}
+			}
+			for i := range p.rs {
+				if !p.rs[i].valid {
+					p.rs[i] = rse
+					break
+				}
+			}
+			p.rsCount++
+			if f.uop.Kind == isa.Load {
+				p.lbCount++
+			}
+		} else {
+			// NOP/PAUSE complete at rename.
+			e.done = true
+			e.doneAt = now + 1
+		}
+
+		if f.uop.HasDst() {
+			p.renameMap[f.uop.Dst] = struct {
+				id    uint64
+				valid bool
+			}{id: id, valid: true}
+		}
+
+		p.fqHead = (p.fqHead + 1) % len(p.fetchQ)
+		p.fqCount--
+	}
+}
+
+// fetch pulls micro-ops from the workload stream through the
+// instruction cache and branch prediction into the fetch queue.
+func (p *Pipeline) fetch(now uint64) {
+	if p.stream == nil || p.brBlocked || now < p.fetchStall {
+		return
+	}
+	if p.fqCount >= len(p.fetchQ) {
+		return
+	}
+	// One icache+iTLB access covers this cycle's fetch group.
+	first := p.stream.Generator().At(p.stream.Pos())
+	walk := p.hier.TranslateFetch(now, first.PC)
+	acc := p.hier.AccessFetch(walk.DoneAt, first.PC)
+	groupReady := acc.DoneAt + uint64(p.cfg.DecodeCycles)
+	if acc.L1Miss || walk.Walked {
+		// Fetch blocks until the instruction bytes arrive.
+		p.fetchStall = acc.DoneAt
+	}
+
+	for n := 0; n < p.cfg.FetchWidth && p.fqCount < len(p.fetchQ); n++ {
+		u := p.stream.Next()
+		p.Metrics.Fetched++
+		f := fetchedUop{uop: u, readyAt: groupReady}
+		if u.Kind == isa.Branch {
+			f.predTaken = p.bu.PredictDirection(u.PC)
+			if f.predTaken != u.Taken {
+				// Mispredict: block fetch until this branch resolves
+				// (flush-younger approximation; see package comment).
+				p.brBlocked = true
+				p.brBlockSeq = u.Seq
+				p.push(f)
+				return
+			}
+			if f.predTaken {
+				if _, hit := p.bu.BTB.Lookup(u.PC); !hit {
+					// Correctly predicted taken but target unknown
+					// until decode: small fetch bubble.
+					p.fetchStall = now + 1 + uint64(p.cfg.BTBMissPenalty)
+					p.push(f)
+					return
+				}
+				// Redirect: taken branches end the fetch group.
+				p.push(f)
+				return
+			}
+		}
+		p.push(f)
+	}
+}
+
+func (p *Pipeline) push(f fetchedUop) {
+	tail := (p.fqHead + p.fqCount) % len(p.fetchQ)
+	p.fetchQ[tail] = f
+	p.fqCount++
+}
+
+// String summarizes occupancy for debugging.
+func (p *Pipeline) String() string {
+	return fmt.Sprintf("pipeline{tid=%d rob=%d/%d rs=%d/%d lb=%d sb=%d fq=%d arch=%d}",
+		p.tid, p.ROBOccupancy(), p.cfg.ROBSize, p.rsCount, p.cfg.RSSize,
+		p.lbCount, len(p.storeBuf), p.fqCount, p.nextArchSeq)
+}

@@ -1,0 +1,259 @@
+// Package sched implements OS-level symbiotic job scheduling on top of
+// the SOE simulator, in the spirit of Snavely et al.'s symbiotic job
+// scheduling referenced by the paper (§1.1): given a pool of jobs and
+// a two-thread SOE processor, sample candidate co-schedules, score
+// each pairing by weighted speedup (the sum of the individual threads'
+// speedups) and achieved fairness, and select the pairing set that
+// maximizes total weighted speedup, optionally subject to a fairness
+// floor.
+//
+// The package demonstrates how the paper's architectural fairness
+// mechanism composes with (rather than replaces) OS scheduling: the
+// scheduler picks who runs together; the mechanism guarantees fairness
+// within each co-schedule.
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"soemt/internal/core"
+	"soemt/internal/sim"
+	"soemt/internal/workload"
+)
+
+// Job is one workload awaiting co-scheduling.
+type Job struct {
+	Name    string
+	Profile workload.Profile
+}
+
+// PairScore records the sampled metrics of one candidate pairing.
+type PairScore struct {
+	A, B            int // job indices
+	WeightedSpeedup float64
+	Fairness        float64
+	IPC             float64
+}
+
+// Evaluator scores pairings with short sampling runs.
+type Evaluator struct {
+	Machine sim.MachineConfig
+	Scale   sim.Scale
+
+	stIPC map[int]float64
+	jobs  []Job
+}
+
+// NewEvaluator builds an evaluator over a job pool. The machine's
+// configured policy is used for the sampling runs (use core.Fairness
+// to score schedules under enforcement).
+func NewEvaluator(machine sim.MachineConfig, scale sim.Scale, jobs []Job) (*Evaluator, error) {
+	if len(jobs) < 2 {
+		return nil, fmt.Errorf("sched: need at least two jobs")
+	}
+	for i, j := range jobs {
+		if err := j.Profile.Validate(); err != nil {
+			return nil, fmt.Errorf("sched: job %d: %w", i, err)
+		}
+	}
+	return &Evaluator{
+		Machine: machine,
+		Scale:   scale,
+		stIPC:   make(map[int]float64),
+		jobs:    jobs,
+	}, nil
+}
+
+// Jobs returns the job pool.
+func (e *Evaluator) Jobs() []Job { return e.jobs }
+
+// SingleIPC returns (and caches) job i's single-thread IPC.
+func (e *Evaluator) SingleIPC(i int) (float64, error) {
+	if v, ok := e.stIPC[i]; ok {
+		return v, nil
+	}
+	m := e.Machine
+	m.Controller.Policy = core.EventOnly{}
+	res, err := sim.RunSingle(m, sim.ThreadSpec{Profile: e.jobs[i].Profile, Slot: i}, e.Scale)
+	if err != nil {
+		return 0, err
+	}
+	v := res.Threads[0].IPC
+	e.stIPC[i] = v
+	return v, nil
+}
+
+// ScorePair samples the co-schedule of jobs a and b.
+func (e *Evaluator) ScorePair(a, b int) (PairScore, error) {
+	if a == b || a < 0 || b < 0 || a >= len(e.jobs) || b >= len(e.jobs) {
+		return PairScore{}, fmt.Errorf("sched: invalid pair (%d, %d)", a, b)
+	}
+	stA, err := e.SingleIPC(a)
+	if err != nil {
+		return PairScore{}, err
+	}
+	stB, err := e.SingleIPC(b)
+	if err != nil {
+		return PairScore{}, err
+	}
+	res, err := sim.Run(sim.Spec{
+		Machine: e.Machine,
+		Threads: []sim.ThreadSpec{
+			{Profile: e.jobs[a].Profile, Slot: a},
+			{Profile: e.jobs[b].Profile, Slot: b},
+		},
+		Scale: e.Scale,
+	})
+	if err != nil {
+		return PairScore{}, err
+	}
+	sp := core.Speedups([]float64{res.Threads[0].IPC, res.Threads[1].IPC}, []float64{stA, stB})
+	return PairScore{
+		A: a, B: b,
+		WeightedSpeedup: core.WeightedSpeedup(sp),
+		Fairness:        core.FairnessMetric(sp),
+		IPC:             res.IPCTotal,
+	}, nil
+}
+
+// ScoreAll samples every pairing of the pool (n·(n−1)/2 runs).
+func (e *Evaluator) ScoreAll() ([]PairScore, error) {
+	var out []PairScore
+	for a := 0; a < len(e.jobs); a++ {
+		for b := a + 1; b < len(e.jobs); b++ {
+			s, err := e.ScorePair(a, b)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// Schedule is a set of co-scheduled pairs covering the pool.
+type Schedule struct {
+	Pairs []PairScore
+	Total float64 // sum of weighted speedups
+}
+
+// MinFairness filters candidate pairings during selection: pairings
+// below the floor are excluded (a floor of 0 admits everything).
+type Options struct {
+	MinFairness float64
+}
+
+// BestSchedule selects the perfect matching of jobs into pairs that
+// maximizes total weighted speedup, subject to the fairness floor.
+// The pool size must be even. Selection is exact for pools of up to
+// 12 jobs (the matching count 11!! = 10,395 is trivial) and greedy
+// beyond that.
+func BestSchedule(scores []PairScore, nJobs int, opts Options) (*Schedule, error) {
+	if nJobs%2 != 0 {
+		return nil, fmt.Errorf("sched: pool size %d is odd", nJobs)
+	}
+	table := make([][]float64, nJobs)
+	rec := make([][]PairScore, nJobs)
+	for i := range table {
+		table[i] = make([]float64, nJobs)
+		rec[i] = make([]PairScore, nJobs)
+		for j := range table[i] {
+			table[i][j] = math.Inf(-1)
+		}
+	}
+	for _, s := range scores {
+		if s.A >= nJobs || s.B >= nJobs {
+			return nil, fmt.Errorf("sched: score references job %d outside pool", max(s.A, s.B))
+		}
+		if s.Fairness < opts.MinFairness {
+			continue
+		}
+		table[s.A][s.B], table[s.B][s.A] = s.WeightedSpeedup, s.WeightedSpeedup
+		rec[s.A][s.B], rec[s.B][s.A] = s, s
+	}
+
+	var pick func(avail []int) ([]PairScore, float64)
+	if nJobs <= 12 {
+		pick = func(avail []int) ([]PairScore, float64) { return exactMatch(avail, table, rec) }
+	} else {
+		pick = func(avail []int) ([]PairScore, float64) { return greedyMatch(avail, table, rec) }
+	}
+	avail := make([]int, nJobs)
+	for i := range avail {
+		avail[i] = i
+	}
+	pairs, total := pick(avail)
+	if pairs == nil {
+		return nil, fmt.Errorf("sched: no feasible schedule under fairness floor %.2f", opts.MinFairness)
+	}
+	return &Schedule{Pairs: pairs, Total: total}, nil
+}
+
+// exactMatch enumerates perfect matchings recursively: fix the first
+// available job, try every partner, recurse.
+func exactMatch(avail []int, table [][]float64, rec [][]PairScore) ([]PairScore, float64) {
+	if len(avail) == 0 {
+		return []PairScore{}, 0
+	}
+	first := avail[0]
+	bestTotal := math.Inf(-1)
+	var best []PairScore
+	for k := 1; k < len(avail); k++ {
+		partner := avail[k]
+		w := table[first][partner]
+		if math.IsInf(w, -1) {
+			continue
+		}
+		rest := make([]int, 0, len(avail)-2)
+		rest = append(rest, avail[1:k]...)
+		rest = append(rest, avail[k+1:]...)
+		sub, subTotal := exactMatch(rest, table, rec)
+		if sub == nil {
+			continue
+		}
+		if t := w + subTotal; t > bestTotal {
+			bestTotal = t
+			best = append([]PairScore{rec[first][partner]}, sub...)
+		}
+	}
+	return best, bestTotal
+}
+
+// greedyMatch repeatedly takes the highest-scoring feasible pairing.
+func greedyMatch(avail []int, table [][]float64, rec [][]PairScore) ([]PairScore, float64) {
+	used := make(map[int]bool)
+	var out []PairScore
+	total := 0.0
+	for len(out)*2 < len(avail) {
+		best := math.Inf(-1)
+		bi, bj := -1, -1
+		for _, i := range avail {
+			if used[i] {
+				continue
+			}
+			for _, j := range avail {
+				if i >= j || used[j] {
+					continue
+				}
+				if table[i][j] > best {
+					best, bi, bj = table[i][j], i, j
+				}
+			}
+		}
+		if bi == -1 {
+			return nil, 0
+		}
+		used[bi], used[bj] = true, true
+		out = append(out, rec[bi][bj])
+		total += best
+	}
+	return out, total
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,202 @@
+package sched
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"soemt/internal/core"
+	"soemt/internal/sim"
+	"soemt/internal/workload"
+)
+
+func score(a, b int, ws, fair float64) PairScore {
+	return PairScore{A: a, B: b, WeightedSpeedup: ws, Fairness: fair}
+}
+
+func TestBestScheduleExactOptimal(t *testing.T) {
+	// 4 jobs; matchings: {01,23}=1.0+1.0=2.0, {02,13}=1.5+0.2=1.7,
+	// {03,12}=0.9+0.8=1.7. Optimal is {01,23}.
+	scores := []PairScore{
+		score(0, 1, 1.0, 0.9),
+		score(2, 3, 1.0, 0.9),
+		score(0, 2, 1.5, 0.9),
+		score(1, 3, 0.2, 0.9),
+		score(0, 3, 0.9, 0.9),
+		score(1, 2, 0.8, 0.9),
+	}
+	s, err := BestSchedule(scores, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Total-2.0) > 1e-9 {
+		t.Fatalf("total = %v, want 2.0", s.Total)
+	}
+	if len(s.Pairs) != 2 {
+		t.Fatalf("pairs = %d", len(s.Pairs))
+	}
+}
+
+func TestBestScheduleGreedySuboptimalCase(t *testing.T) {
+	// Greedy picks 0-2 (1.5) first, then is stuck with 1-3 (0.2) for a
+	// total of 1.7; exact finds 2.0. With 4 jobs the exact path is
+	// used, so the optimum must come back.
+	scores := []PairScore{
+		score(0, 1, 1.0, 1), score(2, 3, 1.0, 1),
+		score(0, 2, 1.5, 1), score(1, 3, 0.2, 1),
+		score(0, 3, 0.1, 1), score(1, 2, 0.1, 1),
+	}
+	s, err := BestSchedule(scores, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Total-2.0) > 1e-9 {
+		t.Fatalf("exact matching not used: total = %v", s.Total)
+	}
+}
+
+func TestBestScheduleFairnessFloor(t *testing.T) {
+	scores := []PairScore{
+		score(0, 1, 2.0, 0.05), // best throughput but unfair
+		score(2, 3, 2.0, 0.05),
+		score(0, 2, 1.2, 0.8),
+		score(1, 3, 1.1, 0.8),
+		score(0, 3, 1.0, 0.8),
+		score(1, 2, 1.0, 0.8),
+	}
+	free, err := BestSchedule(scores, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(free.Total-4.0) > 1e-9 {
+		t.Fatalf("unconstrained total = %v, want 4.0", free.Total)
+	}
+	floored, err := BestSchedule(scores, 4, Options{MinFairness: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(floored.Total-2.3) > 1e-9 {
+		t.Fatalf("floored total = %v, want 2.3", floored.Total)
+	}
+	for _, p := range floored.Pairs {
+		if p.Fairness < 0.5 {
+			t.Fatalf("pair below floor selected: %+v", p)
+		}
+	}
+}
+
+func TestBestScheduleInfeasible(t *testing.T) {
+	scores := []PairScore{score(0, 1, 1, 0.1)}
+	if _, err := BestSchedule(scores, 2, Options{MinFairness: 0.9}); err == nil {
+		t.Fatal("expected infeasible error")
+	}
+	if _, err := BestSchedule(scores, 3, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "odd") {
+		t.Fatal("odd pool must error")
+	}
+	bad := []PairScore{score(0, 5, 1, 1)}
+	if _, err := BestSchedule(bad, 2, Options{}); err == nil {
+		t.Fatal("out-of-pool score must error")
+	}
+}
+
+func TestGreedyMatchLargePool(t *testing.T) {
+	// 14 jobs forces the greedy path; all pairings weight 1 so any
+	// perfect matching totals 7.
+	var scores []PairScore
+	for a := 0; a < 14; a++ {
+		for b := a + 1; b < 14; b++ {
+			scores = append(scores, score(a, b, 1, 1))
+		}
+	}
+	s, err := BestSchedule(scores, 14, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Total-7.0) > 1e-9 || len(s.Pairs) != 7 {
+		t.Fatalf("greedy matching wrong: total=%v pairs=%d", s.Total, len(s.Pairs))
+	}
+	seen := map[int]bool{}
+	for _, p := range s.Pairs {
+		if seen[p.A] || seen[p.B] {
+			t.Fatal("job scheduled twice")
+		}
+		seen[p.A], seen[p.B] = true, true
+	}
+}
+
+func tinyScale() sim.Scale {
+	return sim.Scale{CacheWarm: 30_000, Warm: 30_000, Measure: 120_000, MaxCycles: 30_000_000}
+}
+
+func TestEvaluatorEndToEnd(t *testing.T) {
+	m := sim.DefaultMachine()
+	m.Controller.Policy = core.Fairness{F: 0.5}
+	jobs := []Job{
+		{Name: "gcc", Profile: workload.MustByName("gcc")},
+		{Name: "eon", Profile: workload.MustByName("eon")},
+		{Name: "swim", Profile: workload.MustByName("swim")},
+		{Name: "gzip", Profile: workload.MustByName("gzip")},
+	}
+	e, err := NewEvaluator(m, tinyScale(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := e.ScoreAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 6 {
+		t.Fatalf("scores = %d, want 6", len(scores))
+	}
+	for _, s := range scores {
+		if s.WeightedSpeedup <= 0 || s.WeightedSpeedup > 2 {
+			t.Errorf("pair (%d,%d) weighted speedup %v out of (0,2]", s.A, s.B, s.WeightedSpeedup)
+		}
+		if s.Fairness < 0 || s.Fairness > 1 {
+			t.Errorf("pair (%d,%d) fairness %v out of [0,1]", s.A, s.B, s.Fairness)
+		}
+	}
+	sched, err := BestSchedule(scores, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Pairs) != 2 {
+		t.Fatalf("schedule pairs = %d", len(sched.Pairs))
+	}
+	// ST cache: second call must be free and identical.
+	v1, _ := e.SingleIPC(0)
+	v2, _ := e.SingleIPC(0)
+	if v1 != v2 {
+		t.Fatal("SingleIPC not cached")
+	}
+}
+
+func TestEvaluatorValidation(t *testing.T) {
+	m := sim.DefaultMachine()
+	if _, err := NewEvaluator(m, tinyScale(), nil); err == nil {
+		t.Fatal("empty pool must error")
+	}
+	bad := workload.MustByName("gcc")
+	bad.DepWindow = 0
+	if _, err := NewEvaluator(m, tinyScale(), []Job{{Profile: bad}, {Profile: bad}}); err == nil {
+		t.Fatal("invalid profile must error")
+	}
+	jobs := []Job{
+		{Name: "a", Profile: workload.MustByName("gcc")},
+		{Name: "b", Profile: workload.MustByName("eon")},
+	}
+	e, err := NewEvaluator(m, tinyScale(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ScorePair(0, 0); err == nil {
+		t.Fatal("self-pair must error")
+	}
+	if _, err := e.ScorePair(0, 9); err == nil {
+		t.Fatal("out-of-range must error")
+	}
+	if len(e.Jobs()) != 2 {
+		t.Fatal("Jobs accessor wrong")
+	}
+}

@@ -1,0 +1,242 @@
+// Package sim assembles the full simulated machine (out-of-order core,
+// memory hierarchy, branch unit, SOE controller) and runs the paper's
+// measurement protocol: functional cache warmup, a timing warmup
+// excluded from statistics, then a measured run until every thread has
+// retired its instruction target.
+package sim
+
+import (
+	"fmt"
+
+	"soemt/internal/branch"
+	"soemt/internal/core"
+	"soemt/internal/isa"
+	"soemt/internal/mem"
+	"soemt/internal/pipeline"
+	"soemt/internal/stats"
+	"soemt/internal/workload"
+)
+
+// MachineConfig bundles all hardware configuration.
+type MachineConfig struct {
+	Pipeline   pipeline.Config
+	Memory     mem.HierarchyConfig
+	Controller core.Config
+}
+
+// DefaultMachine returns the paper's machine (Table 3 / DESIGN.md).
+func DefaultMachine() MachineConfig {
+	return MachineConfig{
+		Pipeline:   pipeline.DefaultConfig(),
+		Memory:     mem.DefaultConfig(),
+		Controller: core.DefaultConfig(),
+	}
+}
+
+// Scale sets the measurement protocol lengths, in instructions.
+type Scale struct {
+	CacheWarm uint64 // functional cache warmup per thread
+	Warm      uint64 // timing warmup excluded from statistics
+	Measure   uint64 // measured instructions per thread
+	MaxCycles uint64 // safety cap on measured cycles (0 = none)
+}
+
+// PaperScale is the protocol from §4.1: 10M cache-warm, 1M excluded,
+// 6M measured instructions per thread.
+func PaperScale() Scale {
+	return Scale{CacheWarm: 10_000_000, Warm: 1_000_000, Measure: 6_000_000}
+}
+
+// QuickScale is a scaled-down protocol for tests and smoke runs. The
+// shapes of the paper's results hold at this scale; absolute values
+// are noisier.
+func QuickScale() Scale {
+	return Scale{CacheWarm: 300_000, Warm: 150_000, Measure: 700_000, MaxCycles: 60_000_000}
+}
+
+// ThreadSpec describes one thread of a run.
+type ThreadSpec struct {
+	Profile  workload.Profile
+	Slot     int    // address-space slot (distinct per thread)
+	StartSeq uint64 // initial architectural position (paper offsets same-benchmark pairs by 1M)
+	Events   []pipeline.InjectedStall
+}
+
+// Spec describes a complete simulation run.
+type Spec struct {
+	Machine MachineConfig
+	Threads []ThreadSpec
+	Scale   Scale
+}
+
+// ThreadResult is the per-thread outcome of a run.
+type ThreadResult struct {
+	Name     string
+	Counters stats.Counters // Instrs / running Cycles / switch-causing Misses
+	IPC      float64        // instructions per wall cycle (IPC_SOE_j; IPC_ST for single-thread runs)
+	EstIPCST float64        // Eq. 13 estimate from the full-run counters
+	IPM      float64        // measured instructions per counted miss
+	CPM      float64        // measured running cycles per counted miss
+	Visits   uint64         // completed dispatches
+	AvgVisit float64        // mean instructions per dispatch (realized IPSw)
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	WallCycles uint64
+	Threads    []ThreadResult
+	IPCTotal   float64          // Eq. 10 aggregate throughput
+	Switches   core.SwitchStats // by cause (measured window only)
+	Samples    []core.Sample    // Δ-cycle time series (Figure 5)
+}
+
+// ForcedPer1k returns forced (non-miss) switches per 1000 cycles, the
+// right axis of the paper's Figure 7.
+func (r *Result) ForcedPer1k() float64 {
+	if r.WallCycles == 0 {
+		return 0
+	}
+	return float64(r.Switches.Forced()) / float64(r.WallCycles) * 1000
+}
+
+// Run executes the full protocol for spec.
+func Run(spec Spec) (*Result, error) {
+	if len(spec.Threads) == 0 {
+		return nil, fmt.Errorf("sim: no threads")
+	}
+	if spec.Scale.Measure == 0 {
+		return nil, fmt.Errorf("sim: zero measurement target")
+	}
+	if err := spec.Machine.Pipeline.Validate(); err != nil {
+		return nil, err
+	}
+	for i, ts := range spec.Threads {
+		if err := ts.Profile.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: thread %d: %w", i, err)
+		}
+	}
+
+	hier := mem.NewHierarchy(spec.Machine.Memory)
+	bu := branch.NewUnit(
+		spec.Machine.Pipeline.BranchEntries,
+		spec.Machine.Pipeline.BTBEntries,
+		spec.Machine.Pipeline.RASDepth,
+		spec.Machine.Pipeline.HistoryBits,
+	)
+	pipe := pipeline.New(spec.Machine.Pipeline, hier, bu)
+
+	threads := make([]*core.Thread, len(spec.Threads))
+	gens := make([]*workload.Generator, len(spec.Threads))
+	for i, ts := range spec.Threads {
+		gens[i] = workload.NewOffset(ts.Profile, ts.Slot)
+		threads[i] = &core.Thread{
+			Name:   ts.Profile.Name,
+			Stream: workload.NewStream(gens[i], ts.StartSeq),
+			Events: ts.Events,
+		}
+	}
+
+	// Functional cache warmup (paper: 10M instructions per thread).
+	for i, ts := range spec.Threads {
+		warmCaches(hier, gens[i], ts.StartSeq, spec.Scale.CacheWarm)
+	}
+	hier.ResetTiming()
+	hier.ResetStats()
+
+	ctl := core.NewController(pipe, spec.Machine.Controller, threads)
+
+	// Timing warmup: run, then discard statistics (paper: first 1M
+	// instructions excluded; also warms the fairness-mechanism state).
+	if spec.Scale.Warm > 0 {
+		ctl.Run(spec.Scale.Warm, spec.Scale.MaxCycles)
+		ctl.ResetStats()
+	}
+
+	cycles := ctl.Run(spec.Scale.Measure, spec.Scale.MaxCycles)
+
+	res := &Result{
+		WallCycles: cycles,
+		Switches:   ctl.Switches(),
+		Samples:    ctl.Samples(),
+	}
+	missLat := spec.Machine.Controller.MissLat
+	for _, th := range ctl.Threads() {
+		cnt := th.Counters()
+		tr := ThreadResult{
+			Name:     th.Name,
+			Counters: cnt,
+			IPC:      float64(cnt.Instrs) / float64(cycles),
+			EstIPCST: cnt.EstIPCST(missLat),
+			IPM:      cnt.IPM(),
+			CPM:      cnt.CPM(),
+			Visits:   th.Visits(),
+			AvgVisit: th.AvgVisitInstrs(),
+		}
+		res.Threads = append(res.Threads, tr)
+		res.IPCTotal += tr.IPC
+	}
+	return res, nil
+}
+
+// RunSingle runs one thread alone on the machine (the paper's IPC_ST
+// reference runs).
+func RunSingle(machine MachineConfig, ts ThreadSpec, scale Scale) (*Result, error) {
+	machine.Controller.Policy = core.EventOnly{}
+	return Run(Spec{Machine: machine, Threads: []ThreadSpec{ts}, Scale: scale})
+}
+
+// warmCaches brings the thread's resident working set to steady state
+// without polluting timing state. Two parts:
+//
+//  1. Region sweeps: every code and hot/warm data line is touched, and
+//     the page tables of all regions (including the cold region, whose
+//     PTE lines are L2-resident in steady state) are walked. This is
+//     the functional equivalent of the paper's 10M-instruction warmup
+//     and makes short runs behave like long ones.
+//  2. An instruction-driven pass over n instructions starting at seq,
+//     which restores realistic recency (LRU) ordering and TLB
+//     contents.
+//
+// Accesses are spaced far apart so no two overlap in the MSHRs.
+func warmCaches(h *mem.Hierarchy, g *workload.Generator, seq, n uint64) {
+	now := uint64(0)
+	touch := func(addr uint64, fetch bool) {
+		if fetch {
+			h.TranslateFetch(now, addr)
+			h.AccessFetch(now, addr)
+		} else {
+			h.TranslateData(now, addr)
+			h.AccessData(now, addr, false)
+		}
+		now += 1000
+	}
+	r := g.Regions()
+	for a := r.CodeBase; a < r.CodeBase+r.CodeBytes; a += 64 {
+		touch(a, true)
+	}
+	for a := r.HotBase; a < r.HotBase+r.HotBytes; a += 64 {
+		touch(a, false)
+	}
+	for a := r.WarmBase; a < r.WarmBase+r.WarmBytes; a += 64 {
+		touch(a, false)
+	}
+	// Walk one page in eight of the cold region: a 64-byte PTE line
+	// covers eight 4 KiB pages, so this warms the full PTE footprint
+	// into the L2 without touching cold data lines.
+	for a := r.ColdBase; a < r.ColdBase+r.ColdBytes; a += 8 * 4096 {
+		h.TranslateData(now, a)
+		now += 1000
+	}
+
+	for i := seq; i < seq+n; i++ {
+		u := g.At(i)
+		if u.Seq%16 == 0 {
+			touch(u.PC, true)
+		}
+		if u.Kind.IsMem() {
+			h.TranslateData(now, u.Addr)
+			h.AccessData(now, u.Addr, u.Kind == isa.Store)
+			now += 1000
+		}
+	}
+}

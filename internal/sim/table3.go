@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"fmt"
+
+	"soemt/internal/stats"
+)
+
+// Table3 renders the simulated machine parameters as a table, the
+// equivalent of the paper's Table 3.
+func Table3(m MachineConfig) *stats.Table {
+	t := stats.NewTable("parameter", "value")
+	p, h, c := m.Pipeline, m.Memory, m.Controller
+	add := func(k, v string) { t.AddRow(k, v) }
+	add("fetch/rename/retire width", fmt.Sprintf("%d / %d / %d", p.FetchWidth, p.RenameWidth, p.RetireWidth))
+	add("ROB / RS", fmt.Sprintf("%d / %d", p.ROBSize, p.RSSize))
+	add("load / store buffers", fmt.Sprintf("%d / %d", p.LoadBufSize, p.StoreBufSize))
+	add("branch predictor", fmt.Sprintf("tournament, %d entries, %d-bit history", p.BranchEntries, p.HistoryBits))
+	add("BTB / RAS", fmt.Sprintf("%d / %d", p.BTBEntries, p.RASDepth))
+	cache := func(cc interface {
+		Lines() int
+	}, name string, sizeKB, ways, lat int) {
+		add(name, fmt.Sprintf("%d KiB, %d-way, 64B lines, %d-cycle", sizeKB, ways, lat))
+	}
+	cache(h.L1I, "L1 instruction cache", h.L1I.SizeKB, h.L1I.Ways, h.L1I.Latency)
+	cache(h.L1D, "L1 data cache", h.L1D.SizeKB, h.L1D.Ways, h.L1D.Latency)
+	cache(h.L2, "L2 unified cache", h.L2.SizeKB, h.L2.Ways, h.L2.Latency)
+	add("ITLB / DTLB", fmt.Sprintf("%d / %d entries, 4 KiB pages", h.ITLB.Entries, h.DTLB.Entries))
+	add("bus", fmt.Sprintf("pipelined, %d-cycle occupancy", h.BusOccupancy))
+	add("memory latency", fmt.Sprintf("%d cycles (constant)", h.MemLatency))
+	add("MSHRs", fmt.Sprintf("%d", h.MSHRs))
+	add("thread switch drain", fmt.Sprintf("%d cycles", c.DrainCycles))
+	add("sampling period Δ", fmt.Sprintf("%d cycles", c.Delta))
+	add("max cycles quota", fmt.Sprintf("%d cycles", c.MaxCyclesQuota))
+	add("assumed Miss_lat", fmt.Sprintf("%.0f cycles", c.MissLat))
+	return t
+}

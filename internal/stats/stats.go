@@ -1,0 +1,218 @@
+// Package stats provides the counters, summary statistics, and time
+// series used by the simulator and the experiment harnesses.
+//
+// The paper's fairness mechanism is driven entirely by per-thread
+// hardware counters sampled on a fixed period Δ; Window models exactly
+// that sample-and-reset behaviour. Series records per-sample values for
+// the time-series figures (Figure 5).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// GeoMean returns the geometric mean of xs. All values must be
+// positive; non-positive values make the result 0.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// HarmonicMean returns the harmonic mean of xs (used by the Luo et al.
+// fairness metric the paper compares against). Non-positive values make
+// the result 0.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += 1 / x
+	}
+	return float64(len(xs)) / s
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of xs using linear
+// interpolation between order statistics.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Min returns the minimum of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Counters is the per-thread hardware-counter block from Section 3.1 of
+// the paper: retired instructions, running cycles (excluding switch
+// overhead), and switch-causing last-level cache misses.
+type Counters struct {
+	Instrs uint64 // instructions retired
+	Cycles uint64 // cycles the thread was actually running
+	Misses uint64 // L2 misses that caused (or would cause) a stall/switch
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Instrs += other.Instrs
+	c.Cycles += other.Cycles
+	c.Misses += other.Misses
+}
+
+// Sub returns c - other, for computing per-window deltas from running
+// totals.
+func (c Counters) Sub(other Counters) Counters {
+	return Counters{
+		Instrs: c.Instrs - other.Instrs,
+		Cycles: c.Cycles - other.Cycles,
+		Misses: c.Misses - other.Misses,
+	}
+}
+
+// IPM returns instructions per miss (Eq. 11): Instrs / max(Misses, 1).
+func (c Counters) IPM() float64 {
+	return float64(c.Instrs) / float64(maxU64(c.Misses, 1))
+}
+
+// CPM returns cycles per miss (Eq. 12): Cycles / max(Misses, 1).
+func (c Counters) CPM() float64 {
+	return float64(c.Cycles) / float64(maxU64(c.Misses, 1))
+}
+
+// IPC returns the realized instructions per running cycle.
+func (c Counters) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instrs) / float64(c.Cycles)
+}
+
+// EstIPCST estimates the thread's single-thread IPC (Eq. 13):
+// IPM / (CPM + missLat).
+func (c Counters) EstIPCST(missLat float64) float64 {
+	return c.IPM() / (c.CPM() + missLat)
+}
+
+func (c Counters) String() string {
+	return fmt.Sprintf("{instrs=%d cycles=%d misses=%d}", c.Instrs, c.Cycles, c.Misses)
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Window implements Δ-cycle sampling: Totals accumulate forever, and
+// Sample returns the delta since the previous sample.
+type Window struct {
+	Totals Counters
+	last   Counters
+}
+
+// Sample returns the counter deltas accumulated since the previous call
+// (or since creation) and marks the new sampling point.
+func (w *Window) Sample() Counters {
+	d := w.Totals.Sub(w.last)
+	w.last = w.Totals
+	return d
+}
+
+// Series is an append-only time series of (cycle, value) points, used
+// to reproduce the paper's Figure 5 plots.
+type Series struct {
+	Name   string
+	Cycles []uint64
+	Values []float64
+}
+
+// Append adds a point to the series.
+func (s *Series) Append(cycle uint64, v float64) {
+	s.Cycles = append(s.Cycles, cycle)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Values) }
+
+// At returns the i-th point.
+func (s *Series) At(i int) (uint64, float64) { return s.Cycles[i], s.Values[i] }
+
+// MeanValue returns the mean of the series values.
+func (s *Series) MeanValue() float64 { return Mean(s.Values) }

@@ -1,0 +1,126 @@
+// Package soemt is a library reproduction of "Fairness and Throughput
+// in Switch on Event Multithreading" (Gabor, Weiss, Mendelson — MICRO
+// 2006).
+//
+// It bundles a cycle-level out-of-order SOE processor simulator, the
+// paper's runtime fairness-enforcement mechanism (counter-based
+// single-thread IPC estimation, Eq. 9 instruction quotas, deficit-
+// counter switch points), the analytical fairness/throughput model
+// (Eqs. 1–10), synthetic SPEC-like workloads, and harnesses that
+// regenerate every table and figure of the paper's evaluation.
+//
+// This package is a thin facade over the internal packages; examples
+// and downstream users should start here. Quick start:
+//
+//	machine := soemt.DefaultMachine()
+//	machine.Controller.Policy = soemt.Fairness{F: 0.5}
+//	res, err := soemt.Run(soemt.Spec{
+//	    Machine: machine,
+//	    Threads: []soemt.ThreadSpec{
+//	        {Profile: soemt.MustProfile("gcc"), Slot: 0},
+//	        {Profile: soemt.MustProfile("eon"), Slot: 1},
+//	    },
+//	    Scale: soemt.QuickScale(),
+//	})
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package soemt
+
+import (
+	"soemt/internal/core"
+	"soemt/internal/model"
+	"soemt/internal/sim"
+	"soemt/internal/workload"
+)
+
+// Simulation types.
+type (
+	// MachineConfig bundles pipeline, memory and controller settings.
+	MachineConfig = sim.MachineConfig
+	// Spec describes a complete simulation run.
+	Spec = sim.Spec
+	// ThreadSpec describes one thread of a run.
+	ThreadSpec = sim.ThreadSpec
+	// Scale sets warmup and measurement lengths.
+	Scale = sim.Scale
+	// Result is the outcome of a run.
+	Result = sim.Result
+	// ThreadResult is the per-thread outcome.
+	ThreadResult = sim.ThreadResult
+)
+
+// Workloads.
+type (
+	// Profile parameterises a synthetic workload.
+	Profile = workload.Profile
+	// Phase is a workload phase-schedule entry.
+	Phase = workload.Phase
+)
+
+// Switch policies (controller configuration).
+type (
+	// EventOnly is baseline SOE: switch only on L2 misses (F = 0).
+	EventOnly = core.EventOnly
+	// Fairness enforces the paper's mechanism with target F.
+	Fairness = core.Fairness
+	// TimeShare is the §6 fixed-cycle-quota baseline.
+	TimeShare = core.TimeShare
+	// SwitchStats counts switches by cause.
+	SwitchStats = core.SwitchStats
+)
+
+// Analytical model (Section 2).
+type (
+	// ModelSystem is a set of threads for the analytical model.
+	ModelSystem = model.System
+	// ModelThread characterises one thread analytically.
+	ModelThread = model.ThreadParams
+	// Prediction is the model's output for one fairness setting.
+	Prediction = model.Prediction
+)
+
+// DefaultMachine returns the paper's machine configuration (Table 3).
+func DefaultMachine() MachineConfig { return sim.DefaultMachine() }
+
+// PaperScale returns the §4.1 protocol: 10M-instruction cache warmup,
+// 1M excluded, 6M measured per thread.
+func PaperScale() Scale { return sim.PaperScale() }
+
+// QuickScale returns a scaled-down protocol whose result shapes match
+// paper scale.
+func QuickScale() Scale { return sim.QuickScale() }
+
+// Run executes a simulation (warmup, measurement, result assembly).
+func Run(spec Spec) (*Result, error) { return sim.Run(spec) }
+
+// RunSingle runs one thread alone (the paper's IPC_ST reference runs).
+func RunSingle(machine MachineConfig, ts ThreadSpec, scale Scale) (*Result, error) {
+	return sim.RunSingle(machine, ts, scale)
+}
+
+// Profiles lists the built-in SPEC-like workload names.
+func Profiles() []string { return workload.Names() }
+
+// ProfileByName returns a built-in workload profile.
+func ProfileByName(name string) (Profile, bool) { return workload.ByName(name) }
+
+// MustProfile returns a built-in profile or panics.
+func MustProfile(name string) Profile { return workload.MustByName(name) }
+
+// FairnessMetric is the paper's Eq. 4: the minimum ratio between the
+// speedups of any two threads (1 = perfectly fair, 0 = starvation).
+func FairnessMetric(speedups []float64) float64 { return core.FairnessMetric(speedups) }
+
+// Speedups divides per-thread SOE IPC by single-thread IPC.
+func Speedups(ipcSOE, ipcST []float64) []float64 { return core.Speedups(ipcSOE, ipcST) }
+
+// WeightedSpeedup is Snavely et al.'s combined metric (§6).
+func WeightedSpeedup(speedups []float64) float64 { return core.WeightedSpeedup(speedups) }
+
+// HarmonicFairness is Luo et al.'s combined metric (§6).
+func HarmonicFairness(speedups []float64) float64 { return core.HarmonicFairness(speedups) }
+
+// Example2 returns the analytical system of the paper's Example 2 /
+// Table 2.
+func Example2() *ModelSystem { return model.Example2System() }

@@ -1,0 +1,100 @@
+package soemt_test
+
+import (
+	"math"
+	"testing"
+
+	"soemt"
+)
+
+func TestFacadeProfiles(t *testing.T) {
+	names := soemt.Profiles()
+	if len(names) < 12 {
+		t.Fatalf("expected >=12 profiles, got %d", len(names))
+	}
+	p, ok := soemt.ProfileByName("gcc")
+	if !ok || p.Name != "gcc" {
+		t.Fatal("ProfileByName failed")
+	}
+	if soemt.MustProfile("eon").Name != "eon" {
+		t.Fatal("MustProfile failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustProfile must panic on unknown name")
+		}
+	}()
+	soemt.MustProfile("nope")
+}
+
+func TestFacadeMetrics(t *testing.T) {
+	sp := soemt.Speedups([]float64{1.0, 0.5}, []float64{2.0, 1.0})
+	if sp[0] != 0.5 || sp[1] != 0.5 {
+		t.Fatal("Speedups wrong")
+	}
+	if soemt.FairnessMetric(sp) != 1 {
+		t.Fatal("FairnessMetric wrong")
+	}
+	if soemt.WeightedSpeedup(sp) != 1 {
+		t.Fatal("WeightedSpeedup wrong")
+	}
+	if math.Abs(soemt.HarmonicFairness(sp)-0.5) > 1e-12 {
+		t.Fatal("HarmonicFairness wrong")
+	}
+}
+
+func TestFacadeModel(t *testing.T) {
+	sys := soemt.Example2()
+	p, err := sys.Predict(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Fairness-1) > 1e-9 {
+		t.Fatalf("Example 2 at F=1 fairness = %v", p.Fairness)
+	}
+}
+
+func TestFacadeScales(t *testing.T) {
+	if soemt.PaperScale().Measure != 6_000_000 {
+		t.Fatal("paper scale wrong")
+	}
+	if soemt.QuickScale().Measure == 0 {
+		t.Fatal("quick scale empty")
+	}
+	if soemt.DefaultMachine().Memory.MemLatency != 300 {
+		t.Fatal("default machine memory latency must be 300")
+	}
+}
+
+// TestFacadeQuickstart runs the documented quickstart flow end to end
+// at a very small scale.
+func TestFacadeQuickstart(t *testing.T) {
+	scale := soemt.Scale{CacheWarm: 30_000, Warm: 30_000, Measure: 100_000, MaxCycles: 20_000_000}
+	machine := soemt.DefaultMachine()
+	machine.Controller.Policy = soemt.Fairness{F: 0.5}
+	res, err := soemt.Run(soemt.Spec{
+		Machine: machine,
+		Threads: []soemt.ThreadSpec{
+			{Profile: soemt.MustProfile("gcc"), Slot: 0},
+			{Profile: soemt.MustProfile("eon"), Slot: 1},
+		},
+		Scale: scale,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPCTotal <= 0 || len(res.Threads) != 2 {
+		t.Fatal("quickstart run produced no results")
+	}
+	if res.Switches.Quota == 0 {
+		t.Fatal("fairness policy inactive in quickstart")
+	}
+	single, err := soemt.RunSingle(soemt.DefaultMachine(),
+		soemt.ThreadSpec{Profile: soemt.MustProfile("gcc"), Slot: 0}, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Threads[0].IPC <= 0 {
+		t.Fatal("single run produced no IPC")
+	}
+}
