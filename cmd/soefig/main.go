@@ -4,6 +4,7 @@
 //
 //	soefig -exp table2|table3|fig3|fig5|fig6|fig7|fig8|example1|timeshare|all
 //	       [-scale tiny|quick|paper] [-v] [-html out.html]
+//	       [-cache-dir dir] [-metrics] [-workers n]
 //
 // Analytical experiments (table2, fig3) are instant; simulation
 // experiments run the two-thread SOE matrix and take seconds (tiny),
@@ -29,6 +30,9 @@ func main() {
 		verbose = flag.Bool("v", false, "print per-run progress")
 		html    = flag.String("html", "", "write a standalone HTML report with SVG charts to this file")
 		csvPath = flag.String("csv", "", "write the full evaluation matrix as tidy CSV to this file")
+		cache   = flag.String("cache-dir", "", "persistent result cache directory (content-addressed; see DESIGN.md)")
+		metrics = flag.Bool("metrics", false, "print run/cache metrics to stderr on exit")
+		workers = flag.Int("workers", 0, "concurrent simulations for matrix experiments (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -47,10 +51,20 @@ func main() {
 	}
 
 	r := experiments.NewRunner(opts)
+	r.Workers = *workers
 	if *verbose {
 		r.Progress = func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+	}
+	if *cache != "" {
+		if err := r.SetCacheDir(*cache); err != nil {
+			fmt.Fprintf(os.Stderr, "soefig: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metrics {
+		defer func() { fmt.Fprintf(os.Stderr, "soefig: metrics: %s\n", r.Metrics()) }()
 	}
 
 	if *html != "" {

@@ -13,6 +13,7 @@ type jsonResult struct {
 	Policy     string             `json:"policy"`
 	WallCycles uint64             `json:"wall_cycles"`
 	IPCTotal   float64            `json:"ipc_total"`
+	Truncated  bool               `json:"truncated,omitempty"`
 	Threads    []jsonThread       `json:"threads"`
 	Switches   jsonSwitches       `json:"switches"`
 	Fairness   *jsonFairnessBlock `json:"fairness,omitempty"`
@@ -55,6 +56,7 @@ func emitJSON(policy string, res *sim.Result, ipcST, speedups []float64) error {
 		Policy:     policy,
 		WallCycles: res.WallCycles,
 		IPCTotal:   res.IPCTotal,
+		Truncated:  res.Truncated,
 		Switches: jsonSwitches{
 			Miss:        res.Switches.Miss,
 			Quota:       res.Switches.Quota,

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"soemt/internal/core"
+	"soemt/internal/experiments"
 	"soemt/internal/pipeline"
 	"soemt/internal/sim"
 	"soemt/internal/stats"
@@ -45,6 +46,8 @@ func main() {
 		l1switch   = flag.Bool("l1-switch", false, "also switch on unresolved L1 misses (§6 extension)")
 		prefetch   = flag.Int("prefetch", 0, "next-line L2 prefetch degree (0 = off)")
 		jsonOut    = flag.Bool("json", false, "emit the result as JSON")
+		cacheDir   = flag.String("cache-dir", "", "persistent result cache directory (content-addressed; see DESIGN.md)")
+		metricsOut = flag.Bool("metrics", false, "print run/cache metrics to stderr on exit")
 	)
 	flag.Parse()
 
@@ -77,17 +80,36 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := sim.Run(sim.Spec{Machine: machine, Threads: specs, Scale: scale})
+	cache, err := experiments.NewCache(*cacheDir)
 	if err != nil {
 		fatal(err)
+	}
+	cache.Logf = func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "soesim: "+format+"\n", args...)
+	}
+	if *metricsOut {
+		defer func() { fmt.Fprintf(os.Stderr, "soesim: metrics: %s\n", cache.Metrics()) }()
+	}
+
+	res, err := cache.RunSpec(sim.Spec{Machine: machine, Threads: specs, Scale: scale})
+	if err != nil {
+		fatal(err)
+	}
+	if res.Truncated {
+		fmt.Fprintf(os.Stderr, "soesim: WARNING: run truncated at MaxCycles=%d before reaching Measure=%d; IPC is approximate\n",
+			scale.MaxCycles, scale.Measure)
 	}
 
 	refIPC := func() (ipcST, speedups []float64) {
 		var ipcSOE []float64
 		for i, ts := range specs {
-			stRes, err := sim.RunSingle(sim.DefaultMachine(), sim.ThreadSpec{
-				Profile: ts.Profile, Slot: ts.Slot, StartSeq: ts.StartSeq,
-			}, scale)
+			refMachine := sim.DefaultMachine()
+			refMachine.Controller.Policy = core.EventOnly{}
+			stRes, err := cache.RunSpec(sim.Spec{
+				Machine: refMachine,
+				Threads: []sim.ThreadSpec{{Profile: ts.Profile, Slot: ts.Slot, StartSeq: ts.StartSeq}},
+				Scale:   scale,
+			})
 			if err != nil {
 				fatal(err)
 			}

@@ -11,6 +11,10 @@
 //	soesweep -sweep threads -bench swim -max 4
 //
 // Output is an aligned table; -csv switches to CSV for plotting.
+// With -cache-dir every simulation result is persisted under a
+// content-addressed fingerprint, so repeated sweeps over the same
+// configuration are served from disk bit-identically; -metrics prints
+// run and cache-hit counters to stderr.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"strings"
 
 	"soemt/internal/core"
+	"soemt/internal/experiments"
 	"soemt/internal/sim"
 	"soemt/internal/stats"
 	"soemt/internal/workload"
@@ -35,8 +40,10 @@ func main() {
 		values = flag.String("values", "", "comma-separated values for misslat/drain/delta sweeps")
 		maxThr = flag.Int("max", 4, "maximum thread count for -sweep threads")
 		fArg   = flag.Float64("F", 0.5, "fairness target for non-F sweeps (0 = event-only)")
-		scale  = flag.String("scale", "tiny", "tiny, quick or paper")
-		csv    = flag.Bool("csv", false, "emit CSV instead of a table")
+		scale    = flag.String("scale", "tiny", "tiny, quick or paper")
+		csv      = flag.Bool("csv", false, "emit CSV instead of a table")
+		cacheDir = flag.String("cache-dir", "", "persistent result cache directory (content-addressed; see DESIGN.md)")
+		metrics  = flag.Bool("metrics", false, "print run/cache metrics to stderr on exit")
 	)
 	flag.Parse()
 
@@ -44,18 +51,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	cache, err := experiments.NewCache(*cacheDir)
+	if err != nil {
+		fatal(err)
+	}
+	cache.Logf = func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "soesweep: "+format+"\n", args...)
+	}
 	var tbl *stats.Table
 	switch *sweep {
 	case "F":
-		tbl, err = sweepF(*pair, *points, sc)
+		tbl, err = sweepF(cache, *pair, *points, sc)
 	case "misslat":
-		tbl, err = sweepScalar(*pair, "misslat", parseValues(*values, "100,200,300,600"), *fArg, sc)
+		tbl, err = sweepScalar(cache, *pair, "misslat", parseValues(*values, "100,200,300,600"), *fArg, sc)
 	case "drain":
-		tbl, err = sweepScalar(*pair, "drain", parseValues(*values, "2,6,12,24,48"), *fArg, sc)
+		tbl, err = sweepScalar(cache, *pair, "drain", parseValues(*values, "2,6,12,24,48"), *fArg, sc)
 	case "delta":
-		tbl, err = sweepScalar(*pair, "delta", parseValues(*values, "50000,250000,1000000"), *fArg, sc)
+		tbl, err = sweepScalar(cache, *pair, "delta", parseValues(*values, "50000,250000,1000000"), *fArg, sc)
 	case "threads":
-		tbl, err = sweepThreads(*bench, *maxThr, *fArg, sc)
+		tbl, err = sweepThreads(cache, *bench, *maxThr, *fArg, sc)
 	default:
 		err = fmt.Errorf("unknown sweep %q", *sweep)
 	}
@@ -66,6 +80,9 @@ func main() {
 		fmt.Print(tbl.CSV())
 	} else {
 		tbl.WriteTo(os.Stdout)
+	}
+	if *metrics {
+		fmt.Fprintf(os.Stderr, "soesweep: metrics: %s\n", cache.Metrics())
 	}
 }
 
@@ -117,18 +134,26 @@ func splitPair(pair string) (workload.Profile, workload.Profile, error) {
 	return a, b, nil
 }
 
-// runPair runs a:b on machine m and returns results plus per-thread
-// speedups against fresh single-thread references.
-func runPair(m sim.MachineConfig, a, b workload.Profile, sc sim.Scale) (*sim.Result, []float64, error) {
+// runPair runs a:b on machine m through the result cache and returns
+// results plus per-thread speedups against single-thread references
+// (cached across sweep points — the references do not depend on the
+// swept parameter unless the machine itself changes).
+func runPair(c *experiments.Cache, m sim.MachineConfig, a, b workload.Profile, sc sim.Scale) (*sim.Result, []float64, error) {
 	var st []float64
 	for i, p := range []workload.Profile{a, b} {
-		ref, err := sim.RunSingle(sim.DefaultMachine(), sim.ThreadSpec{Profile: p, Slot: i}, sc)
+		refMachine := sim.DefaultMachine()
+		refMachine.Controller.Policy = core.EventOnly{}
+		ref, err := c.RunSpec(sim.Spec{
+			Machine: refMachine,
+			Threads: []sim.ThreadSpec{{Profile: p, Slot: i}},
+			Scale:   sc,
+		})
 		if err != nil {
 			return nil, nil, err
 		}
 		st = append(st, ref.Threads[0].IPC)
 	}
-	res, err := sim.Run(sim.Spec{
+	res, err := c.RunSpec(sim.Spec{
 		Machine: m,
 		Threads: []sim.ThreadSpec{
 			{Profile: a, Slot: 0},
@@ -138,6 +163,10 @@ func runPair(m sim.MachineConfig, a, b workload.Profile, sc sim.Scale) (*sim.Res
 	})
 	if err != nil {
 		return nil, nil, err
+	}
+	if res.Truncated {
+		fmt.Fprintf(os.Stderr, "soesweep: WARNING: %s:%s truncated at MaxCycles=%d; values are approximate\n",
+			a.Name, b.Name, sc.MaxCycles)
 	}
 	sp := core.Speedups([]float64{res.Threads[0].IPC, res.Threads[1].IPC}, st)
 	return res, sp, nil
@@ -157,7 +186,7 @@ func policyFor(f float64) core.Policy {
 	return core.Fairness{F: f}
 }
 
-func sweepF(pair string, points int, sc sim.Scale) (*stats.Table, error) {
+func sweepF(c *experiments.Cache, pair string, points int, sc sim.Scale) (*stats.Table, error) {
 	a, b, err := splitPair(pair)
 	if err != nil {
 		return nil, err
@@ -170,7 +199,7 @@ func sweepF(pair string, points int, sc sim.Scale) (*stats.Table, error) {
 		f := float64(i) / float64(points-1)
 		m := sim.DefaultMachine()
 		m.Controller.Policy = policyFor(f)
-		res, sp, err := runPair(m, a, b, sc)
+		res, sp, err := runPair(c, m, a, b, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -183,7 +212,7 @@ func sweepF(pair string, points int, sc sim.Scale) (*stats.Table, error) {
 	return tbl, nil
 }
 
-func sweepScalar(pair, param string, values []float64, f float64, sc sim.Scale) (*stats.Table, error) {
+func sweepScalar(c *experiments.Cache, pair, param string, values []float64, f float64, sc sim.Scale) (*stats.Table, error) {
 	a, b, err := splitPair(pair)
 	if err != nil {
 		return nil, err
@@ -206,7 +235,7 @@ func sweepScalar(pair, param string, values []float64, f float64, sc sim.Scale) 
 		default:
 			return nil, fmt.Errorf("unknown scalar parameter %q", param)
 		}
-		res, sp, err := runPair(m, a, b, sc)
+		res, sp, err := runPair(c, m, a, b, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -222,7 +251,7 @@ func sweepScalar(pair, param string, values []float64, f float64, sc sim.Scale) 
 // sweepThreads scales the number of copies of one workload from 1 to
 // max (Eickemeyer et al.: SOE throughput saturates around three
 // threads).
-func sweepThreads(bench string, max int, f float64, sc sim.Scale) (*stats.Table, error) {
+func sweepThreads(c *experiments.Cache, bench string, max int, f float64, sc sim.Scale) (*stats.Table, error) {
 	prof, ok := workload.ByName(bench)
 	if !ok {
 		return nil, fmt.Errorf("unknown profile %q", bench)
@@ -241,7 +270,7 @@ func sweepThreads(bench string, max int, f float64, sc sim.Scale) (*stats.Table,
 			p.Seed += uint64(i) * 7919
 			threads = append(threads, sim.ThreadSpec{Profile: p, Slot: i})
 		}
-		res, err := sim.Run(sim.Spec{Machine: m, Threads: threads, Scale: sc})
+		res, err := c.RunSpec(sim.Spec{Machine: m, Threads: threads, Scale: sc})
 		if err != nil {
 			return nil, err
 		}

@@ -115,7 +115,7 @@ func (s SwitchStats) Total() uint64 { return s.Miss + s.L1Miss + s.Forced() }
 // Figure 5 time series.
 type SampleThread struct {
 	EstIPCST  float64 // Eq. 13 estimate from the window counters
-	WindowIPC float64 // instructions retired this window / Δ (IPC_SOE_j)
+	WindowIPC float64 // instructions retired this window / window cycles (IPC_SOE_j)
 	Quota     float64 // IPSw_j chosen for the next window
 	Window    stats.Counters
 }
@@ -134,6 +134,8 @@ type Controller struct {
 
 	now        uint64
 	resetAt    uint64 // cycle of the last stats reset
+	sampleAt   uint64 // cycle of the last Δ sample (or stats reset)
+	truncated  bool   // the last Run hit its maxCycles cap
 	cur        int
 	switches   SwitchStats
 	samples    []Sample
@@ -176,6 +178,11 @@ func (c *Controller) Switches() SwitchStats { return c.switches }
 // Samples returns the Δ sampling records since the last stats reset.
 func (c *Controller) Samples() []Sample { return c.samples }
 
+// Truncated reports whether the most recent Run stopped at its
+// maxCycles cap before every thread reached its retirement target.
+// Cleared by ResetStats.
+func (c *Controller) Truncated() bool { return c.truncated }
+
 // Current returns the index of the running thread.
 func (c *Controller) Current() int { return c.cur }
 
@@ -209,7 +216,9 @@ func (c *Controller) ResetStats() {
 	c.switches = SwitchStats{}
 	c.samples = nil
 	c.missLatSum, c.missLatN = 0, 0
+	c.truncated = false
 	c.resetAt = c.now
+	c.sampleAt = c.now
 	c.pipe.ResetMetrics()
 	c.pipe.Hierarchy().ResetStats()
 }
@@ -219,6 +228,7 @@ func (c *Controller) ResetStats() {
 // elapsed (0 = no limit). It returns the number of cycles executed.
 func (c *Controller) Run(target uint64, maxCycles uint64) uint64 {
 	start := c.now
+	c.truncated = false
 	for {
 		done := true
 		for _, t := range c.threads {
@@ -231,6 +241,7 @@ func (c *Controller) Run(target uint64, maxCycles uint64) uint64 {
 			return c.now - start
 		}
 		if maxCycles > 0 && c.now-start >= maxCycles {
+			c.truncated = true
 			return c.now - start
 		}
 		c.Step()
@@ -348,6 +359,13 @@ func (c *Controller) switchThread() {
 // recomputes quotas through the policy (Eqs. 9, 11–13).
 func (c *Controller) sample() {
 	missLat := c.MeasuredMissLat()
+	// The window normally spans a full Δ, but the flush sample emitted
+	// by ResetStats covers only the cycles since the previous sample;
+	// WindowIPC must divide by the cycles actually elapsed, not Δ.
+	elapsed := c.now - c.sampleAt
+	if elapsed == 0 {
+		elapsed = c.cfg.Delta
+	}
 	samples := make([]ThreadSample, len(c.threads))
 	rec := Sample{Cycle: c.now, Threads: make([]SampleThread, len(c.threads))}
 	for i, t := range c.threads {
@@ -366,7 +384,7 @@ func (c *Controller) sample() {
 		samples[i] = ts
 		rec.Threads[i] = SampleThread{
 			EstIPCST:  ts.EstST,
-			WindowIPC: float64(win.Instrs) / float64(c.cfg.Delta),
+			WindowIPC: float64(win.Instrs) / float64(elapsed),
 			Window:    win,
 		}
 	}
@@ -376,6 +394,7 @@ func (c *Controller) sample() {
 		rec.Threads[i].Quota = quotas[i]
 	}
 	c.samples = append(c.samples, rec)
+	c.sampleAt = c.now
 }
 
 // String summarizes controller state for debugging.

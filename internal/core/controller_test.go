@@ -406,3 +406,78 @@ func TestEstimatedIPCSTTracksReality(t *testing.T) {
 		t.Errorf("estimated IPC_ST %.3f vs real %.3f: tracking broken", est, realVic)
 	}
 }
+
+// Regression: the flush sample emitted for a partial Δ window must
+// divide retired instructions by the cycles actually elapsed since the
+// previous sample, not by the full Δ (which underestimates WindowIPC).
+func TestSamplePartialWindowIPC(t *testing.T) {
+	pipe := newMachine()
+	threads := []*Thread{newThread(hogProfile(), 0), newThread(victimProfile(), 1)}
+	cfg := testConfig(EventOnly{})
+	c := NewController(pipe, cfg, threads)
+
+	// One full window plus half of the next.
+	c.RunCycles(cfg.Delta + cfg.Delta/2)
+	full := c.Samples()
+	if len(full) != 1 {
+		t.Fatalf("expected 1 boundary sample, got %d", len(full))
+	}
+	for i, st := range full[0].Threads {
+		want := float64(st.Window.Instrs) / float64(cfg.Delta)
+		if st.WindowIPC != want {
+			t.Errorf("full-window thread %d WindowIPC = %v, want %v", i, st.WindowIPC, want)
+		}
+	}
+
+	// Flush the partial half-window.
+	c.sample()
+	recs := c.Samples()
+	if len(recs) != 2 {
+		t.Fatalf("expected 2 samples, got %d", len(recs))
+	}
+	partial := recs[1]
+	elapsed := cfg.Delta / 2
+	var checked bool
+	for i, st := range partial.Threads {
+		want := float64(st.Window.Instrs) / float64(elapsed)
+		if st.WindowIPC != want {
+			t.Errorf("partial-window thread %d WindowIPC = %v, want %v (instrs=%d elapsed=%d)",
+				i, st.WindowIPC, want, st.Window.Instrs, elapsed)
+		}
+		if st.Window.Instrs > 0 {
+			checked = true
+			// The old code divided by the full Δ, halving the value.
+			wrong := float64(st.Window.Instrs) / float64(cfg.Delta)
+			if st.WindowIPC <= wrong {
+				t.Errorf("partial-window thread %d WindowIPC %v not above full-Δ value %v", i, st.WindowIPC, wrong)
+			}
+		}
+	}
+	if !checked {
+		t.Fatal("no thread retired instructions in the partial window")
+	}
+}
+
+// Regression: Run must flag when it stops at the maxCycles cap before
+// every thread reaches its target, and ResetStats must clear the flag.
+func TestRunTruncatedFlag(t *testing.T) {
+	pipe := newMachine()
+	threads := []*Thread{newThread(hogProfile(), 0), newThread(victimProfile(), 1)}
+	c := NewController(pipe, testConfig(EventOnly{}), threads)
+	if c.Run(1<<40, 10_000) != 10_000 {
+		t.Fatal("cap did not bind")
+	}
+	if !c.Truncated() {
+		t.Fatal("capped Run must report truncation")
+	}
+	c.ResetStats()
+	if c.Truncated() {
+		t.Fatal("ResetStats must clear the truncation flag")
+	}
+	if c.Run(1_000, 0) == 0 {
+		t.Fatal("Run did nothing")
+	}
+	if c.Truncated() {
+		t.Fatal("completed Run must not report truncation")
+	}
+}

@@ -1,0 +1,279 @@
+// Result cache for the experiment engine.
+//
+// Every figure and table re-simulates the same deterministic matrix;
+// the cache makes repeated invocations near-free. Results are
+// content-addressed by Fingerprint (machine + policy + threads + scale
+// + schema version), so a cache entry can never be served for a run it
+// does not exactly describe, and bumping SchemaVersion invalidates the
+// whole store without touching the files.
+//
+// Three layers:
+//
+//  1. in-memory map — hits share the same *sim.Result pointer (results
+//     are treated as immutable once published);
+//  2. on-disk JSON store under Dir() — survives process restarts; reads
+//     verify the schema version and key before trusting a file;
+//  3. in-flight dedup — concurrent requests for the same key run one
+//     simulation and share its outcome (singleflight), replacing the
+//     duplicate-work race the Runner previously documented.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"soemt/internal/sim"
+)
+
+// Cache is a content-addressed store of simulation results. The zero
+// value is not usable; construct with NewCache or NewMemCache. All
+// methods are safe for concurrent use.
+type Cache struct {
+	dir string // "" = memory-only
+	run func(sim.Spec) (*sim.Result, error)
+
+	// Logf, if non-nil, receives warnings about best-effort disk
+	// operations (a failed write never fails the run that produced the
+	// result). May be called from multiple goroutines.
+	Logf func(format string, args ...interface{})
+
+	mu       sync.Mutex
+	mem      map[string]*sim.Result
+	inflight map[string]*inflightRun
+
+	m metrics
+}
+
+// inflightRun is a singleflight cell: the first requester runs the
+// simulation, later requesters block on done and share the outcome.
+type inflightRun struct {
+	done chan struct{}
+	res  *sim.Result
+	err  error
+}
+
+// NewCache returns a cache persisting to dir (created if missing).
+// An empty dir yields a memory-only cache.
+func NewCache(dir string) (*Cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("experiments: cache dir: %w", err)
+		}
+	}
+	return &Cache{
+		dir:      dir,
+		run:      sim.Run,
+		mem:      make(map[string]*sim.Result),
+		inflight: make(map[string]*inflightRun),
+	}, nil
+}
+
+// NewMemCache returns an in-memory (non-persistent) cache.
+func NewMemCache() *Cache {
+	c, _ := NewCache("")
+	return c
+}
+
+// Dir returns the on-disk store directory ("" for memory-only caches).
+func (c *Cache) Dir() string { return c.dir }
+
+// Metrics returns a snapshot of the cache's instrumentation.
+func (c *Cache) Metrics() RunnerMetrics { return c.m.snapshot() }
+
+func (c *Cache) logf(format string, args ...interface{}) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// RunSpec executes spec through the cache: fingerprint, layered
+// lookup, singleflight simulation on miss, store. Returned results are
+// shared and must not be mutated.
+func (c *Cache) RunSpec(spec sim.Spec) (*sim.Result, error) {
+	key, err := Fingerprint(spec)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := c.Do(key, func() (*sim.Result, error) {
+		c.m.runsStarted.Add(1)
+		start := time.Now()
+		r, err := c.run(spec)
+		if err != nil {
+			c.m.runsFailed.Add(1)
+			return nil, err
+		}
+		c.m.runsCompleted.Add(1)
+		c.m.simWallNanos.Add(int64(time.Since(start)))
+		c.m.simCycles.Add(r.WallCycles)
+		if r.Truncated {
+			c.m.truncated.Add(1)
+		}
+		return r, nil
+	})
+	return res, err
+}
+
+// Do returns the cached result for key, or runs fn exactly once across
+// all concurrent callers to produce it. The boolean reports whether
+// the result was served without invoking fn in this call (memory,
+// disk, or a concurrent caller's run). Errors are not cached: a later
+// call retries.
+func (c *Cache) Do(key string, fn func() (*sim.Result, error)) (*sim.Result, bool, error) {
+	c.mu.Lock()
+	if res, ok := c.mem[key]; ok {
+		c.mu.Unlock()
+		c.m.memHits.Add(1)
+		return res, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		c.m.dedupHits.Add(1)
+		return f.res, true, nil
+	}
+	f := &inflightRun{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	finished := false
+	finish := func(res *sim.Result, err error) {
+		finished = true
+		f.res, f.err = res, err
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if err == nil && res != nil {
+			c.mem[key] = res
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}
+	// A panic inside fn must not leave concurrent waiters blocked on
+	// f.done forever: resolve the cell with an error, then re-panic so
+	// the caller's own recovery (e.g. RunAll's worker) still fires.
+	defer func() {
+		if rec := recover(); rec != nil {
+			if !finished {
+				finish(nil, fmt.Errorf("experiments: cache: run for %.12s… panicked: %v", key, rec))
+			}
+			panic(rec)
+		}
+	}()
+
+	if res := c.readDisk(key); res != nil {
+		c.m.diskHits.Add(1)
+		finish(res, nil)
+		return res, true, nil
+	}
+
+	c.m.misses.Add(1)
+	res, err := fn()
+	if err == nil && res != nil {
+		if werr := c.writeDisk(key, res); werr != nil {
+			c.logf("WARN cache: persist %.12s…: %v", key, werr)
+		}
+	}
+	finish(res, err)
+	return res, false, err
+}
+
+// Get returns the result stored under key, checking the memory then
+// the disk layer. It never triggers a simulation.
+func (c *Cache) Get(key string) (*sim.Result, bool) {
+	c.mu.Lock()
+	res, ok := c.mem[key]
+	c.mu.Unlock()
+	if ok {
+		return res, true
+	}
+	if res := c.readDisk(key); res != nil {
+		c.mu.Lock()
+		c.mem[key] = res
+		c.mu.Unlock()
+		return res, true
+	}
+	return nil, false
+}
+
+// Put stores res under key in both layers. The disk write is atomic
+// (temp file + rename); its error is returned but the memory layer is
+// always updated.
+func (c *Cache) Put(key string, res *sim.Result) error {
+	c.mu.Lock()
+	c.mem[key] = res
+	c.mu.Unlock()
+	return c.writeDisk(key, res)
+}
+
+// diskEntry is the on-disk envelope. Schema and Key are verified on
+// read so a stale or foreign file degrades to a cache miss, never to a
+// wrong result.
+type diskEntry struct {
+	Schema string      `json:"schema"`
+	Key    string      `json:"key"`
+	Result *sim.Result `json:"result"`
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// readDisk returns the stored result for key, or nil when the disk
+// layer is disabled, the file is absent, or the entry fails schema or
+// key verification (corrupt and stale entries are misses, not errors).
+func (c *Cache) readDisk(key string) *sim.Result {
+	if c.dir == "" {
+		return nil
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil
+	}
+	var e diskEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		c.logf("WARN cache: corrupt entry %.12s…: %v", key, err)
+		return nil
+	}
+	if e.Schema != SchemaVersion || e.Key != key || e.Result == nil {
+		return nil
+	}
+	c.mu.Lock()
+	if prev, ok := c.mem[key]; ok {
+		// Keep the pointer already published to other callers.
+		c.mu.Unlock()
+		return prev
+	}
+	c.mem[key] = e.Result
+	c.mu.Unlock()
+	return e.Result
+}
+
+func (c *Cache) writeDisk(key string, res *sim.Result) error {
+	if c.dir == "" {
+		return nil
+	}
+	data, err := json.Marshal(diskEntry{Schema: SchemaVersion, Key: key, Result: res})
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"soemt/internal/sim"
+)
+
+// SchemaVersion names the on-disk result schema. It participates in
+// every fingerprint, so bumping it invalidates all previously cached
+// results at once — do so whenever sim.Result gains or changes fields,
+// or when a simulator change alters outcomes without touching any
+// Spec-visible parameter.
+const SchemaVersion = "soemt-result-v1"
+
+// Fingerprint returns the content-addressed cache key for a run: a
+// hex SHA-256 over the schema version and the spec's canonical JSON
+// encoding (machine, policy, threads, scale — see
+// sim.Spec.FingerprintJSON). Equal keys imply bit-identical results;
+// changing any input parameter changes the key.
+func Fingerprint(spec sim.Spec) (string, error) {
+	payload, err := spec.FingerprintJSON()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(SchemaVersion))
+	h.Write([]byte{'\n'})
+	h.Write(payload)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

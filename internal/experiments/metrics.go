@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// RunnerMetrics is a point-in-time snapshot of the experiment engine's
+// instrumentation: how many simulations actually executed, how many
+// were served from the cache layers, and the aggregate simulation
+// rate. Obtain one from Runner.Metrics or Cache.Metrics.
+type RunnerMetrics struct {
+	RunsStarted   uint64 // simulations dispatched to sim.Run
+	RunsCompleted uint64 // simulations that returned a result
+	RunsFailed    uint64 // simulations that returned an error
+	TruncatedRuns uint64 // completed runs with Result.Truncated set
+
+	MemHits   uint64 // served from the in-memory layer
+	DiskHits  uint64 // served from the on-disk store
+	DedupHits uint64 // joined an identical in-flight run (singleflight)
+	Misses    uint64 // required a fresh simulation
+
+	SimulatedCycles uint64        // measured cycles across completed runs
+	SimWall         time.Duration // wall time summed across completed runs
+}
+
+// CacheHits returns hits across all layers (memory, disk, in-flight).
+func (m RunnerMetrics) CacheHits() uint64 { return m.MemHits + m.DiskHits + m.DedupHits }
+
+// CyclesPerSec returns the aggregate simulation throughput in
+// simulated cycles per wall-clock second of simulation time.
+func (m RunnerMetrics) CyclesPerSec() float64 {
+	if m.SimWall <= 0 {
+		return 0
+	}
+	return float64(m.SimulatedCycles) / m.SimWall.Seconds()
+}
+
+// String renders a one-line summary suitable for Progress callbacks.
+func (m RunnerMetrics) String() string {
+	return fmt.Sprintf(
+		"runs=%d/%d (failed=%d truncated=%d) cache hits=%d (mem=%d disk=%d dedup=%d) misses=%d sim=%.2gMcyc %.3gMcyc/s wall=%s",
+		m.RunsCompleted, m.RunsStarted, m.RunsFailed, m.TruncatedRuns,
+		m.CacheHits(), m.MemHits, m.DiskHits, m.DedupHits, m.Misses,
+		float64(m.SimulatedCycles)/1e6, m.CyclesPerSec()/1e6,
+		m.SimWall.Round(time.Millisecond))
+}
+
+// metrics is the lock-free collector behind RunnerMetrics. All fields
+// are updated with atomics; snapshot() is safe to call while runs are
+// in flight (it is a consistent-enough view for progress reporting).
+type metrics struct {
+	runsStarted   atomic.Uint64
+	runsCompleted atomic.Uint64
+	runsFailed    atomic.Uint64
+	truncated     atomic.Uint64
+
+	memHits   atomic.Uint64
+	diskHits  atomic.Uint64
+	dedupHits atomic.Uint64
+	misses    atomic.Uint64
+
+	simCycles    atomic.Uint64
+	simWallNanos atomic.Int64
+}
+
+func (m *metrics) snapshot() RunnerMetrics {
+	return RunnerMetrics{
+		RunsStarted:     m.runsStarted.Load(),
+		RunsCompleted:   m.runsCompleted.Load(),
+		RunsFailed:      m.runsFailed.Load(),
+		TruncatedRuns:   m.truncated.Load(),
+		MemHits:         m.memHits.Load(),
+		DiskHits:        m.diskHits.Load(),
+		DedupHits:       m.dedupHits.Load(),
+		Misses:          m.misses.Load(),
+		SimulatedCycles: m.simCycles.Load(),
+		SimWall:         time.Duration(m.simWallNanos.Load()),
+	}
+}

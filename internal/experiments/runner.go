@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -51,9 +52,13 @@ type PairRun struct {
 	STRuns [2]*sim.Result
 }
 
-// Speedups returns per-thread speedups under F (IPC_SOE_j / IPC_ST_j).
+// Speedups returns per-thread speedups under F (IPC_SOE_j / IPC_ST_j),
+// or zeros when the requested F level was never run.
 func (pr *PairRun) Speedups(f float64) []float64 {
 	r := pr.ByF[f]
+	if r == nil || len(r.Threads) < 2 {
+		return make([]float64, 2)
+	}
 	return core.Speedups([]float64{r.Threads[0].IPC, r.Threads[1].IPC}, pr.ST[:])
 }
 
@@ -64,26 +69,32 @@ func (pr *PairRun) Fairness(f float64) float64 {
 
 // SOESpeedup returns the pair's SOE throughput gain over single
 // thread: IPC_SOE_total / mean(IPC_ST), the paper's footnote-6 metric.
+// It returns 0 when F was never run (e.g. a PairRun assembled by hand
+// from RunPairAt results) or the references are empty.
 func (pr *PairRun) SOESpeedup(f float64) float64 {
+	r := pr.ByF[f]
 	meanST := (pr.ST[0] + pr.ST[1]) / 2
-	if meanST == 0 {
+	if r == nil || meanST == 0 {
 		return 0
 	}
-	return pr.ByF[f].IPCTotal / meanST
+	return r.IPCTotal / meanST
 }
 
 // NormalizedThroughput returns IPC_SOE(F) / IPC_SOE(0), Figure 7's
-// left axis.
+// left axis, or 0 when either level is missing from the run.
 func (pr *PairRun) NormalizedThroughput(f float64) float64 {
-	base := pr.ByF[0].IPCTotal
-	if base == 0 {
+	base, r := pr.ByF[0], pr.ByF[f]
+	if base == nil || r == nil || base.IPCTotal == 0 {
 		return 0
 	}
-	return pr.ByF[f].IPCTotal / base
+	return r.IPCTotal / base.IPCTotal
 }
 
-// Runner executes and caches the evaluation's simulation matrix: 16
-// single-thread reference runs plus 16 pairs × len(FLevels) SOE runs.
+// Runner executes the evaluation's simulation matrix — 16
+// single-thread reference runs plus 16 pairs × len(FLevels) SOE runs —
+// through a content-addressed result cache (see Cache). Identical
+// concurrent runs are deduplicated in flight; with a persistent cache
+// directory, repeated invocations are served from disk bit-identically.
 type Runner struct {
 	Opts Options
 
@@ -92,9 +103,9 @@ type Runner struct {
 	// GOMAXPROCS.
 	Workers int
 
+	cache *Cache
+
 	mu    sync.Mutex
-	stIPC map[string]float64
-	stRes map[string]*sim.Result
 	pairs map[string]*PairRun
 
 	// Progress, if non-nil, receives one line per completed run. It
@@ -102,15 +113,35 @@ type Runner struct {
 	Progress func(format string, args ...interface{})
 }
 
-// NewRunner creates a Runner with empty caches.
+// NewRunner creates a Runner with an in-memory result cache.
 func NewRunner(opts Options) *Runner {
-	return &Runner{
+	r := &Runner{
 		Opts:  opts,
-		stIPC: make(map[string]float64),
-		stRes: make(map[string]*sim.Result),
 		pairs: make(map[string]*PairRun),
+		cache: NewMemCache(),
 	}
+	r.cache.Logf = r.logf
+	return r
 }
+
+// SetCacheDir switches the runner to a persistent cache rooted at dir
+// (created if missing). Call before the first run.
+func (r *Runner) SetCacheDir(dir string) error {
+	c, err := NewCache(dir)
+	if err != nil {
+		return err
+	}
+	c.Logf = r.logf
+	r.cache = c
+	return nil
+}
+
+// Cache returns the runner's result cache.
+func (r *Runner) Cache() *Cache { return r.cache }
+
+// Metrics returns a snapshot of the engine's instrumentation (runs
+// executed, cache hits per layer, simulated cycles per second).
+func (r *Runner) Metrics() RunnerMetrics { return r.cache.Metrics() }
 
 func (r *Runner) logf(format string, args ...interface{}) {
 	if r.Progress != nil {
@@ -118,33 +149,35 @@ func (r *Runner) logf(format string, args ...interface{}) {
 	}
 }
 
-// STRef returns (and caches) the single-thread reference result for a
-// profile. Safe for concurrent use; concurrent callers for the same
-// profile may duplicate work but agree on the cached result
-// (simulations are deterministic).
-func (r *Runner) STRef(name string) (*sim.Result, error) {
-	r.mu.Lock()
-	res, ok := r.stRes[name]
-	r.mu.Unlock()
-	if ok {
-		return res, nil
+// warnTruncated logs when a run hit Scale.MaxCycles before reaching
+// its measurement target: its IPC covers fewer instructions than
+// requested and should be treated as approximate.
+func (r *Runner) warnTruncated(label string, res *sim.Result) {
+	if res.Truncated {
+		r.logf("WARN %s truncated at MaxCycles=%d before reaching Measure=%d; IPC is approximate",
+			label, r.Opts.Scale.MaxCycles, r.Opts.Scale.Measure)
 	}
+}
+
+// STRef returns the single-thread reference result for a profile.
+// Safe for concurrent use; concurrent callers for the same profile
+// share one in-flight simulation via the cache's singleflight layer.
+func (r *Runner) STRef(name string) (*sim.Result, error) {
 	prof, ok := workload.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown profile %q", name)
 	}
-	res, err := sim.RunSingle(r.Opts.Machine, sim.ThreadSpec{Profile: prof, Slot: 0}, r.Opts.Scale)
+	machine := r.Opts.Machine
+	machine.Controller.Policy = core.EventOnly{}
+	res, err := r.cache.RunSpec(sim.Spec{
+		Machine: machine,
+		Threads: []sim.ThreadSpec{{Profile: prof, Slot: 0}},
+		Scale:   r.Opts.Scale,
+	})
 	if err != nil {
 		return nil, err
 	}
-	r.mu.Lock()
-	if prev, ok := r.stRes[name]; ok {
-		res = prev // keep the first stored result
-	} else {
-		r.stRes[name] = res
-		r.stIPC[name] = res.Threads[0].IPC
-	}
-	r.mu.Unlock()
+	r.warnTruncated("ST "+name, res)
 	r.logf("ST  %-12s IPC=%.3f", name, res.Threads[0].IPC)
 	return res, nil
 }
@@ -157,7 +190,7 @@ func policyFor(f float64) core.Policy {
 	return core.Fairness{F: f}
 }
 
-// RunPairAt runs one pair at one enforcement level (no matrix cache).
+// RunPairAt runs one pair at one enforcement level through the cache.
 func (r *Runner) RunPairAt(p Pair, f float64) (*sim.Result, error) {
 	m := r.Opts.Machine
 	m.Controller.Policy = policyFor(f)
@@ -172,17 +205,19 @@ func (r *Runner) RunPairAt(p Pair, f float64) (*sim.Result, error) {
 	if p.Same() {
 		spec.Threads[1].StartSeq = r.Opts.SameOffset
 	}
-	res, err := sim.Run(spec)
+	res, err := r.cache.RunSpec(spec)
 	if err != nil {
 		return nil, err
 	}
+	r.warnTruncated(fmt.Sprintf("SOE %s F=%v", p.Name(), f), res)
 	r.logf("SOE %-12s F=%-4v IPC=%.3f switches=%d forced=%d",
 		p.Name(), f, res.IPCTotal, res.Switches.Total(), res.Switches.Forced())
 	return res, nil
 }
 
-// RunPair runs (and caches) the full F matrix plus ST references for
-// one pair. Safe for concurrent use.
+// RunPair runs the full F matrix plus ST references for one pair and
+// memoizes the assembled PairRun. Safe for concurrent use; the
+// underlying simulations are deduplicated by the cache.
 func (r *Runner) RunPair(p Pair) (*PairRun, error) {
 	r.mu.Lock()
 	pr, ok := r.pairs[p.Name()]
@@ -216,13 +251,20 @@ func (r *Runner) RunPair(p Pair) (*PairRun, error) {
 	return pr, nil
 }
 
-// RunAll runs the full matrix over Pairs(), distributing pairs across
-// Workers goroutines (simulations are independent and deterministic,
-// so the results do not depend on scheduling).
+// RunAll runs the full matrix over Pairs(); see RunAllContext.
 func (r *Runner) RunAll() ([]*PairRun, error) {
+	return r.RunAllContext(context.Background())
+}
+
+// RunAllContext runs the full matrix over Pairs(), distributing pairs
+// across Workers goroutines (simulations are independent and
+// deterministic, so the results do not depend on scheduling). The
+// first error — including a recovered worker panic, or ctx being
+// cancelled — stops dispatching; already-running simulations finish
+// but no new pairs start, and the first error is returned.
+func (r *Runner) RunAllContext(ctx context.Context) ([]*PairRun, error) {
 	ps := Pairs()
 	out := make([]*PairRun, len(ps))
-	errs := make([]error, len(ps))
 
 	workers := r.Workers
 	if workers <= 0 {
@@ -232,18 +274,27 @@ func (r *Runner) RunAll() ([]*PairRun, error) {
 		workers = len(ps)
 	}
 
-	// Precompute ST references serially per unique profile to avoid
-	// duplicated reference runs across workers.
-	seen := map[string]bool{}
-	for _, p := range ps {
-		for _, name := range []string{p.A, p.B} {
-			if !seen[name] {
-				seen[name] = true
-				if _, err := r.STRef(name); err != nil {
-					return nil, err
-				}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		once     sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	runOne := func(p Pair) (pr *PairRun, err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = fmt.Errorf("experiments: pair %s: worker panic: %v", p.Name(), rec)
 			}
-		}
+		}()
+		return r.RunPair(p)
 	}
 
 	var wg sync.WaitGroup
@@ -253,20 +304,35 @@ func (r *Runner) RunAll() ([]*PairRun, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				out[i], errs[i] = r.RunPair(ps[i])
+				if ctx.Err() != nil {
+					continue // drain without running
+				}
+				pr, err := runOne(ps[i])
+				if err != nil {
+					fail(err)
+					continue
+				}
+				out[i] = pr
 			}
 		}()
 	}
+dispatch:
 	for i := range ps {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
 
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if firstErr != nil {
+		return nil, firstErr
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r.logf("metrics: %s", r.Metrics())
 	return out, nil
 }

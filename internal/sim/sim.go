@@ -88,6 +88,12 @@ type Result struct {
 	IPCTotal   float64          // Eq. 10 aggregate throughput
 	Switches   core.SwitchStats // by cause (measured window only)
 	Samples    []core.Sample    // Δ-cycle time series (Figure 5)
+
+	// Truncated reports that the measured run stopped at
+	// Scale.MaxCycles before every thread retired its target; the
+	// per-thread counters (and thus IPC) cover fewer instructions than
+	// Scale.Measure requested.
+	Truncated bool
 }
 
 // ForcedPer1k returns forced (non-miss) switches per 1000 cycles, the
@@ -158,6 +164,7 @@ func Run(spec Spec) (*Result, error) {
 		WallCycles: cycles,
 		Switches:   ctl.Switches(),
 		Samples:    ctl.Samples(),
+		Truncated:  ctl.Truncated(),
 	}
 	missLat := spec.Machine.Controller.MissLat
 	for _, th := range ctl.Threads() {

@@ -211,3 +211,51 @@ func TestInjectedEventsRespected(t *testing.T) {
 			withEv.WallCycles, base.WallCycles)
 	}
 }
+
+// Regression: hitting Scale.MaxCycles before the measurement target
+// must be flagged instead of silently returning truncated counters.
+func TestRunSetsTruncated(t *testing.T) {
+	spec := pairSpec("gcc", "eon", core.EventOnly{})
+	spec.Scale = Scale{CacheWarm: 10_000, Warm: 0, Measure: 1 << 40, MaxCycles: 50_000}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("capped run must set Truncated")
+	}
+	if res.WallCycles != 50_000 {
+		t.Fatalf("capped run measured %d cycles, want 50000", res.WallCycles)
+	}
+
+	full, err := Run(pairSpec("gcc", "eon", core.EventOnly{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Truncated {
+		t.Fatal("completed run must not set Truncated")
+	}
+}
+
+func TestFingerprintJSONStableAndGuarded(t *testing.T) {
+	spec := pairSpec("gcc", "eon", core.Fairness{F: 0.5})
+	a, err := spec.FingerprintJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.FingerprintJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("fingerprint payload not deterministic")
+	}
+	if !strings.Contains(string(a), `"PolicyName":"fairness"`) {
+		t.Errorf("payload missing policy name: %s", a)
+	}
+
+	spec.Machine.Controller.Policy = nil
+	if _, err := spec.FingerprintJSON(); err == nil {
+		t.Fatal("nil policy must be rejected")
+	}
+}
