@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -14,7 +15,7 @@ import (
 
 // writeHTMLReport runs the full reproduction and renders a standalone
 // HTML document with SVG charts (soefig -html out.html).
-func writeHTMLReport(path string, opts experiments.Options, r *experiments.Runner) error {
+func writeHTMLReport(ctx context.Context, path string, opts experiments.Options, r *experiments.Runner) error {
 	h := &report.HTML{Title: "Fairness and Throughput in Switch on Event Multithreading — reproduction"}
 
 	// Table 3.
@@ -52,7 +53,7 @@ func writeHTMLReport(path string, opts experiments.Options, r *experiments.Runne
 
 	// Figure 5 (time series).
 	h.Heading("Figure 5: detailed gcc:eon examination (F=1/4)")
-	d5, err := experiments.ExpFig5(io.Discard, r)
+	d5, err := experiments.ExpFig5Context(ctx, io.Discard, r)
 	if err != nil {
 		return err
 	}
@@ -72,7 +73,7 @@ func writeHTMLReport(path string, opts experiments.Options, r *experiments.Runne
 	h.Chart(bot)
 
 	// Matrix figures.
-	runs, err := r.RunAll()
+	runs, err := r.RunAllContext(ctx)
 	if err != nil {
 		return err
 	}
@@ -154,7 +155,7 @@ func writeHTMLReport(path string, opts experiments.Options, r *experiments.Runne
 		sum8.StarvedShareF0*100)
 
 	h.Heading("§6: time sharing vs the mechanism (gcc:eon)")
-	ts, err := experiments.ExpTimeShare(io.Discard, r)
+	ts, err := experiments.ExpTimeShareContext(ctx, io.Discard, r)
 	if err != nil {
 		return err
 	}

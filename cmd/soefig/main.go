@@ -19,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"soemt/internal/cli"
 	"soemt/internal/experiments"
 	"soemt/internal/sim"
 )
@@ -33,6 +34,7 @@ func main() {
 		cache   = flag.String("cache-dir", "", "persistent result cache directory (content-addressed; see DESIGN.md)")
 		metrics = flag.Bool("metrics", false, "print run/cache metrics to stderr on exit")
 		workers = flag.Int("workers", 0, "concurrent simulations for matrix experiments (0 = GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 0, "wall-clock budget per simulation, e.g. 90s (0 = unlimited); an exceeded run fails with a deadline error")
 	)
 	flag.Parse()
 
@@ -49,6 +51,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "soefig: unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
+
+	opts.Watchdog.Timeout = *timeout
 
 	r := experiments.NewRunner(opts)
 	r.Workers = *workers
@@ -67,8 +71,29 @@ func main() {
 		defer func() { fmt.Fprintf(os.Stderr, "soefig: metrics: %s\n", r.Metrics()) }()
 	}
 
+	// SIGINT/SIGTERM cancel the matrix between execution slices. Pairs
+	// already simulated stay in the cache (and are flushed as partial
+	// output where the format allows it); a rerun over the same
+	// -cache-dir resumes from them. A second signal kills immediately.
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	cli.NoteResume("soefig", r.Cache())
+	defer func() { cli.ClearInterrupted("soefig", r.Cache()) }() // skipped by os.Exit on failure paths
+	exitErr := func(err error) {
+		if cli.Interrupted(ctx, err) {
+			cli.MarkInterrupted("soefig", r.Cache(), "interrupted by signal")
+			fmt.Fprintln(os.Stderr, "soefig: interrupted; completed simulations are cached — rerun with the same -cache-dir to resume")
+			os.Exit(cli.ExitInterrupted)
+		}
+		fmt.Fprintf(os.Stderr, "soefig: %v\n", err)
+		os.Exit(1)
+	}
+
 	if *html != "" {
-		if err := writeHTMLReport(*html, opts, r); err != nil {
+		if err := writeHTMLReport(ctx, *html, opts, r); err != nil {
+			if cli.Interrupted(ctx, err) {
+				exitErr(err)
+			}
 			fmt.Fprintf(os.Stderr, "soefig: html report: %v\n", err)
 			os.Exit(1)
 		}
@@ -76,22 +101,42 @@ func main() {
 		return
 	}
 	if *csvPath != "" {
-		runs, err := r.RunAll()
-		if err != nil {
+		runs, err := r.RunAllContext(ctx)
+		if err != nil && !cli.Interrupted(ctx, err) {
 			fmt.Fprintf(os.Stderr, "soefig: %v\n", err)
 			os.Exit(1)
+		}
+		interrupted := err != nil
+		done := runs[:0:0]
+		for _, pr := range runs {
+			if pr != nil {
+				done = append(done, pr)
+			}
+		}
+		if interrupted && len(done) == 0 {
+			exitErr(err)
 		}
 		f, err := os.Create(*csvPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "soefig: %v\n", err)
 			os.Exit(1)
 		}
-		if err := experiments.WriteCSV(f, runs); err != nil {
+		if err := experiments.WriteCSV(f, done); err != nil {
 			f.Close()
 			fmt.Fprintf(os.Stderr, "soefig: %v\n", err)
 			os.Exit(1)
 		}
+		if interrupted {
+			fmt.Fprintf(f, "# interrupted: %d of %d pairs completed; rerun with the same -cache-dir to finish\n",
+				len(done), len(runs))
+		}
 		f.Close()
+		if interrupted {
+			fmt.Fprintf(os.Stderr, "soefig: interrupted; wrote partial matrix (%d/%d pairs) to %s\n",
+				len(done), len(runs), *csvPath)
+			cli.MarkInterrupted("soefig", r.Cache(), "interrupted by signal (partial CSV flushed)")
+			os.Exit(cli.ExitInterrupted)
+		}
 		fmt.Printf("wrote %s\n", *csvPath)
 		return
 	}
@@ -106,33 +151,33 @@ func main() {
 		case "fig3":
 			return experiments.ExpFig3(w)
 		case "example1":
-			return experiments.ExpExample1(w, r)
+			return experiments.ExpExample1Context(ctx, w, r)
 		case "fig5":
-			_, err := experiments.ExpFig5(w, r)
+			_, err := experiments.ExpFig5Context(ctx, w, r)
 			return err
 		case "fig6":
-			runs, err := r.RunAll()
+			runs, err := r.RunAllContext(ctx)
 			if err != nil {
 				return err
 			}
 			_, err = experiments.ExpFig6(w, runs)
 			return err
 		case "fig7":
-			runs, err := r.RunAll()
+			runs, err := r.RunAllContext(ctx)
 			if err != nil {
 				return err
 			}
 			_, err = experiments.ExpFig7(w, runs)
 			return err
 		case "fig8":
-			runs, err := r.RunAll()
+			runs, err := r.RunAllContext(ctx)
 			if err != nil {
 				return err
 			}
 			_, err = experiments.ExpFig8(w, runs)
 			return err
 		case "timeshare":
-			_, err := experiments.ExpTimeShare(w, r)
+			_, err := experiments.ExpTimeShareContext(ctx, w, r)
 			return err
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
@@ -149,6 +194,9 @@ func main() {
 			fmt.Fprintln(w, "\n"+strings.Repeat("=", 78)+"\n")
 		}
 		if err := run(n); err != nil {
+			if cli.Interrupted(ctx, err) {
+				exitErr(err)
+			}
 			fmt.Fprintf(os.Stderr, "soefig: %s: %v\n", n, err)
 			os.Exit(1)
 		}

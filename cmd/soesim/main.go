@@ -21,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"soemt/internal/cli"
 	"soemt/internal/core"
 	"soemt/internal/experiments"
 	"soemt/internal/pipeline"
@@ -48,6 +49,8 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit the result as JSON")
 		cacheDir   = flag.String("cache-dir", "", "persistent result cache directory (content-addressed; see DESIGN.md)")
 		metricsOut = flag.Bool("metrics", false, "print run/cache metrics to stderr on exit")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget per simulation, e.g. 90s (0 = unlimited); an exceeded run fails with a deadline error")
+		stallCap   = flag.Uint64("stall-cycles", 0, "abort a run making no forward progress for this many cycles (0 = default watchdog)")
 	)
 	flag.Parse()
 
@@ -91,9 +94,26 @@ func main() {
 		defer func() { fmt.Fprintf(os.Stderr, "soesim: metrics: %s\n", cache.Metrics()) }()
 	}
 
-	res, err := cache.RunSpec(sim.Spec{Machine: machine, Threads: specs, Scale: scale})
-	if err != nil {
+	// SIGINT/SIGTERM cancel the run between execution slices; finished
+	// simulations stay in the cache, and the cache dir is marked so a
+	// rerun knows it is resuming. A second signal kills immediately.
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	cli.NoteResume("soesim", cache)
+	defer cli.ClearInterrupted("soesim", cache) // skipped by os.Exit on failure paths
+	exitErr := func(err error) {
+		if cli.Interrupted(ctx, err) {
+			cli.MarkInterrupted("soesim", cache, "interrupted by signal")
+			fmt.Fprintln(os.Stderr, "soesim: interrupted; completed simulations are cached — rerun with the same -cache-dir to resume")
+			os.Exit(cli.ExitInterrupted)
+		}
 		fatal(err)
+	}
+	watchdog := sim.Watchdog{Timeout: *timeout, StallCycles: *stallCap}
+
+	res, err := cache.RunSpecContext(ctx, sim.Spec{Machine: machine, Threads: specs, Scale: scale, Watchdog: watchdog})
+	if err != nil {
+		exitErr(err)
 	}
 	if res.Truncated {
 		fmt.Fprintf(os.Stderr, "soesim: WARNING: run truncated at MaxCycles=%d before reaching Measure=%d; IPC is approximate\n",
@@ -105,13 +125,14 @@ func main() {
 		for i, ts := range specs {
 			refMachine := sim.DefaultMachine()
 			refMachine.Controller.Policy = core.EventOnly{}
-			stRes, err := cache.RunSpec(sim.Spec{
-				Machine: refMachine,
-				Threads: []sim.ThreadSpec{{Profile: ts.Profile, Slot: ts.Slot, StartSeq: ts.StartSeq}},
-				Scale:   scale,
+			stRes, err := cache.RunSpecContext(ctx, sim.Spec{
+				Machine:  refMachine,
+				Threads:  []sim.ThreadSpec{{Profile: ts.Profile, Slot: ts.Slot, StartSeq: ts.StartSeq}},
+				Scale:    scale,
+				Watchdog: watchdog,
 			})
 			if err != nil {
-				fatal(err)
+				exitErr(err)
 			}
 			ipcSOE = append(ipcSOE, res.Threads[i].IPC)
 			ipcST = append(ipcST, stRes.Threads[0].IPC)

@@ -18,12 +18,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"soemt/internal/cli"
 	"soemt/internal/core"
 	"soemt/internal/experiments"
 	"soemt/internal/sim"
@@ -33,17 +35,18 @@ import (
 
 func main() {
 	var (
-		sweep  = flag.String("sweep", "F", "parameter to sweep: F, misslat, drain, delta, threads")
-		pair   = flag.String("pair", "gcc:eon", "two workloads a:b for pair sweeps")
-		bench  = flag.String("bench", "swim", "workload for -sweep threads")
-		points = flag.Int("points", 9, "number of F points for -sweep F")
-		values = flag.String("values", "", "comma-separated values for misslat/drain/delta sweeps")
-		maxThr = flag.Int("max", 4, "maximum thread count for -sweep threads")
-		fArg   = flag.Float64("F", 0.5, "fairness target for non-F sweeps (0 = event-only)")
+		sweep    = flag.String("sweep", "F", "parameter to sweep: F, misslat, drain, delta, threads")
+		pair     = flag.String("pair", "gcc:eon", "two workloads a:b for pair sweeps")
+		bench    = flag.String("bench", "swim", "workload for -sweep threads")
+		points   = flag.Int("points", 9, "number of F points for -sweep F")
+		values   = flag.String("values", "", "comma-separated values for misslat/drain/delta sweeps")
+		maxThr   = flag.Int("max", 4, "maximum thread count for -sweep threads")
+		fArg     = flag.Float64("F", 0.5, "fairness target for non-F sweeps (0 = event-only)")
 		scale    = flag.String("scale", "tiny", "tiny, quick or paper")
 		csv      = flag.Bool("csv", false, "emit CSV instead of a table")
 		cacheDir = flag.String("cache-dir", "", "persistent result cache directory (content-addressed; see DESIGN.md)")
 		metrics  = flag.Bool("metrics", false, "print run/cache metrics to stderr on exit")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget per simulation, e.g. 90s (0 = unlimited); an exceeded run fails with a deadline error")
 	)
 	flag.Parse()
 
@@ -58,29 +61,55 @@ func main() {
 	cache.Logf = func(format string, args ...interface{}) {
 		fmt.Fprintf(os.Stderr, "soesweep: "+format+"\n", args...)
 	}
+
+	// SIGINT/SIGTERM cancel the sweep between execution slices; the
+	// rows completed so far are still flushed (marked incomplete), and
+	// with -cache-dir a rerun resumes from the finished points.
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	cli.NoteResume("soesweep", cache)
+	wd := sim.Watchdog{Timeout: *timeout}
+
 	var tbl *stats.Table
 	switch *sweep {
 	case "F":
-		tbl, err = sweepF(cache, *pair, *points, sc)
+		tbl, err = sweepF(ctx, cache, wd, *pair, *points, sc)
 	case "misslat":
-		tbl, err = sweepScalar(cache, *pair, "misslat", parseValues(*values, "100,200,300,600"), *fArg, sc)
+		tbl, err = sweepScalar(ctx, cache, wd, *pair, "misslat", parseValues(*values, "100,200,300,600"), *fArg, sc)
 	case "drain":
-		tbl, err = sweepScalar(cache, *pair, "drain", parseValues(*values, "2,6,12,24,48"), *fArg, sc)
+		tbl, err = sweepScalar(ctx, cache, wd, *pair, "drain", parseValues(*values, "2,6,12,24,48"), *fArg, sc)
 	case "delta":
-		tbl, err = sweepScalar(cache, *pair, "delta", parseValues(*values, "50000,250000,1000000"), *fArg, sc)
+		tbl, err = sweepScalar(ctx, cache, wd, *pair, "delta", parseValues(*values, "50000,250000,1000000"), *fArg, sc)
 	case "threads":
-		tbl, err = sweepThreads(cache, *bench, *maxThr, *fArg, sc)
+		tbl, err = sweepThreads(ctx, cache, wd, *bench, *maxThr, *fArg, sc)
 	default:
 		err = fmt.Errorf("unknown sweep %q", *sweep)
 	}
+	emit := func() {
+		if tbl == nil {
+			return
+		}
+		if *csv {
+			fmt.Print(tbl.CSV())
+		} else {
+			tbl.WriteTo(os.Stdout)
+		}
+	}
 	if err != nil {
+		if cli.Interrupted(ctx, err) {
+			emit()
+			if *csv {
+				fmt.Println("# interrupted: sweep incomplete")
+			} else {
+				fmt.Fprintln(os.Stderr, "soesweep: interrupted; partial sweep flushed — rerun with the same -cache-dir to resume")
+			}
+			cli.MarkInterrupted("soesweep", cache, "interrupted by signal")
+			os.Exit(cli.ExitInterrupted)
+		}
 		fatal(err)
 	}
-	if *csv {
-		fmt.Print(tbl.CSV())
-	} else {
-		tbl.WriteTo(os.Stdout)
-	}
+	emit()
+	cli.ClearInterrupted("soesweep", cache)
 	if *metrics {
 		fmt.Fprintf(os.Stderr, "soesweep: metrics: %s\n", cache.Metrics())
 	}
@@ -138,28 +167,30 @@ func splitPair(pair string) (workload.Profile, workload.Profile, error) {
 // results plus per-thread speedups against single-thread references
 // (cached across sweep points — the references do not depend on the
 // swept parameter unless the machine itself changes).
-func runPair(c *experiments.Cache, m sim.MachineConfig, a, b workload.Profile, sc sim.Scale) (*sim.Result, []float64, error) {
+func runPair(ctx context.Context, c *experiments.Cache, wd sim.Watchdog, m sim.MachineConfig, a, b workload.Profile, sc sim.Scale) (*sim.Result, []float64, error) {
 	var st []float64
 	for i, p := range []workload.Profile{a, b} {
 		refMachine := sim.DefaultMachine()
 		refMachine.Controller.Policy = core.EventOnly{}
-		ref, err := c.RunSpec(sim.Spec{
-			Machine: refMachine,
-			Threads: []sim.ThreadSpec{{Profile: p, Slot: i}},
-			Scale:   sc,
+		ref, err := c.RunSpecContext(ctx, sim.Spec{
+			Machine:  refMachine,
+			Threads:  []sim.ThreadSpec{{Profile: p, Slot: i}},
+			Scale:    sc,
+			Watchdog: wd,
 		})
 		if err != nil {
 			return nil, nil, err
 		}
 		st = append(st, ref.Threads[0].IPC)
 	}
-	res, err := c.RunSpec(sim.Spec{
+	res, err := c.RunSpecContext(ctx, sim.Spec{
 		Machine: m,
 		Threads: []sim.ThreadSpec{
 			{Profile: a, Slot: 0},
 			{Profile: b, Slot: 1, StartSeq: sameOffset(a, b)},
 		},
-		Scale: sc,
+		Scale:    sc,
+		Watchdog: wd,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -186,7 +217,9 @@ func policyFor(f float64) core.Policy {
 	return core.Fairness{F: f}
 }
 
-func sweepF(c *experiments.Cache, pair string, points int, sc sim.Scale) (*stats.Table, error) {
+// The sweep functions return the partially built table alongside any
+// error, so an interrupted sweep can still flush its completed rows.
+func sweepF(ctx context.Context, c *experiments.Cache, wd sim.Watchdog, pair string, points int, sc sim.Scale) (*stats.Table, error) {
 	a, b, err := splitPair(pair)
 	if err != nil {
 		return nil, err
@@ -199,9 +232,9 @@ func sweepF(c *experiments.Cache, pair string, points int, sc sim.Scale) (*stats
 		f := float64(i) / float64(points-1)
 		m := sim.DefaultMachine()
 		m.Controller.Policy = policyFor(f)
-		res, sp, err := runPair(c, m, a, b, sc)
+		res, sp, err := runPair(ctx, c, wd, m, a, b, sc)
 		if err != nil {
-			return nil, err
+			return tbl, err
 		}
 		tbl.AddRow(fmt.Sprintf("%.3f", f),
 			fmt.Sprintf("%.3f", res.IPCTotal),
@@ -212,7 +245,7 @@ func sweepF(c *experiments.Cache, pair string, points int, sc sim.Scale) (*stats
 	return tbl, nil
 }
 
-func sweepScalar(c *experiments.Cache, pair, param string, values []float64, f float64, sc sim.Scale) (*stats.Table, error) {
+func sweepScalar(ctx context.Context, c *experiments.Cache, wd sim.Watchdog, pair, param string, values []float64, f float64, sc sim.Scale) (*stats.Table, error) {
 	a, b, err := splitPair(pair)
 	if err != nil {
 		return nil, err
@@ -235,9 +268,9 @@ func sweepScalar(c *experiments.Cache, pair, param string, values []float64, f f
 		default:
 			return nil, fmt.Errorf("unknown scalar parameter %q", param)
 		}
-		res, sp, err := runPair(c, m, a, b, sc)
+		res, sp, err := runPair(ctx, c, wd, m, a, b, sc)
 		if err != nil {
-			return nil, err
+			return tbl, err
 		}
 		tbl.AddRow(fmt.Sprintf("%.0f", v),
 			fmt.Sprintf("%.3f", res.IPCTotal),
@@ -251,7 +284,7 @@ func sweepScalar(c *experiments.Cache, pair, param string, values []float64, f f
 // sweepThreads scales the number of copies of one workload from 1 to
 // max (Eickemeyer et al.: SOE throughput saturates around three
 // threads).
-func sweepThreads(c *experiments.Cache, bench string, max int, f float64, sc sim.Scale) (*stats.Table, error) {
+func sweepThreads(ctx context.Context, c *experiments.Cache, wd sim.Watchdog, bench string, max int, f float64, sc sim.Scale) (*stats.Table, error) {
 	prof, ok := workload.ByName(bench)
 	if !ok {
 		return nil, fmt.Errorf("unknown profile %q", bench)
@@ -270,9 +303,9 @@ func sweepThreads(c *experiments.Cache, bench string, max int, f float64, sc sim
 			p.Seed += uint64(i) * 7919
 			threads = append(threads, sim.ThreadSpec{Profile: p, Slot: i})
 		}
-		res, err := c.RunSpec(sim.Spec{Machine: m, Threads: threads, Scale: sc})
+		res, err := c.RunSpecContext(ctx, sim.Spec{Machine: m, Threads: threads, Scale: sc, Watchdog: wd})
 		if err != nil {
-			return nil, err
+			return tbl, err
 		}
 		if n == 1 {
 			base = res.IPCTotal

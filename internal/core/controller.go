@@ -46,6 +46,36 @@ func DefaultConfig() Config {
 	}
 }
 
+// ConfigError reports an invalid controller configuration value.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return "core: invalid config: " + e.Field + ": " + e.Reason
+}
+
+// Validate reports controller configuration errors: a missing policy,
+// a zero drain (the switch mechanism needs a positive pipeline-drain
+// cost), a negative assumed miss latency, or a smoothing factor
+// outside [0, 1].
+func (c Config) Validate() error {
+	if c.Policy == nil {
+		return &ConfigError{"Policy", "must be set (EventOnly, Fairness, TimeShare)"}
+	}
+	if c.DrainCycles == 0 {
+		return &ConfigError{"DrainCycles", "must be positive"}
+	}
+	if c.MissLat < 0 {
+		return &ConfigError{"MissLat", "must be non-negative"}
+	}
+	if c.SmoothAlpha < 0 || c.SmoothAlpha > 1 {
+		return &ConfigError{"SmoothAlpha", "must be in [0, 1]"}
+	}
+	return nil
+}
+
 // Thread is one hardware thread context under SOE control.
 type Thread struct {
 	Name   string
@@ -144,23 +174,29 @@ type Controller struct {
 }
 
 // NewController builds a controller over pipe and thread contexts.
-// The first thread is switched in immediately. It panics on empty
-// thread lists or a nil policy (configuration errors).
-func NewController(pipe *pipeline.Pipeline, cfg Config, threads []*Thread) *Controller {
+// The first thread is switched in immediately. Configuration errors
+// (empty thread list, nil pipeline, invalid Config) are returned, not
+// panicked, so bad CLI flags and sweep values surface cleanly.
+func NewController(pipe *pipeline.Pipeline, cfg Config, threads []*Thread) (*Controller, error) {
+	if pipe == nil {
+		return nil, &ConfigError{"pipeline", "must be non-nil"}
+	}
 	if len(threads) == 0 {
-		panic("core: no threads")
+		return nil, &ConfigError{"threads", "at least one thread is required"}
 	}
-	if cfg.Policy == nil {
-		panic("core: nil policy")
+	for i, t := range threads {
+		if t == nil || t.Stream == nil {
+			return nil, &ConfigError{"threads", fmt.Sprintf("thread %d has no instruction stream", i)}
+		}
 	}
-	if cfg.DrainCycles == 0 {
-		panic("core: zero drain cycles")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	c := &Controller{pipe: pipe, cfg: cfg, threads: threads}
 	pipe.SetStream(0, threads[0].Stream, 0)
 	pipe.SetEvents(threads[0].Events)
 	threads[0].eventIdx = pipe.EventIndex()
-	return c
+	return c, nil
 }
 
 // Now returns the global cycle count.
@@ -229,7 +265,20 @@ func (c *Controller) ResetStats() {
 func (c *Controller) Run(target uint64, maxCycles uint64) uint64 {
 	start := c.now
 	c.truncated = false
-	for {
+	for !c.Advance(target, maxCycles, start, 1<<20) {
+	}
+	return c.now - start
+}
+
+// Advance runs at most budget cycles of the measurement that began at
+// absolute cycle start, and reports whether the run is complete:
+// either every thread reached its retirement target, or maxCycles
+// elapsed since start (0 = no limit), which also marks the run
+// truncated. Callers that need cancellation or watchdog checks loop
+// over Advance with a small budget (see sim.RunContext); Run is the
+// uninterruptible wrapper.
+func (c *Controller) Advance(target, maxCycles, start, budget uint64) bool {
+	for spent := uint64(0); ; spent++ {
 		done := true
 		for _, t := range c.threads {
 			if t.retired < target {
@@ -238,14 +287,28 @@ func (c *Controller) Run(target uint64, maxCycles uint64) uint64 {
 			}
 		}
 		if done {
-			return c.now - start
+			return true
 		}
 		if maxCycles > 0 && c.now-start >= maxCycles {
 			c.truncated = true
-			return c.now - start
+			return true
+		}
+		if spent >= budget {
+			return false
 		}
 		c.Step()
 	}
+}
+
+// TotalRetired sums instructions retired across all threads since the
+// last stats reset. It is the forward-progress signal watched by the
+// stall detector in sim.RunContext.
+func (c *Controller) TotalRetired() uint64 {
+	var sum uint64
+	for _, t := range c.threads {
+		sum += t.retired
+	}
+	return sum
 }
 
 // RunCycles advances the machine by exactly n cycles.

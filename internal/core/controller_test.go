@@ -38,7 +38,21 @@ func victimProfile() workload.Profile {
 func newMachine() *pipeline.Pipeline {
 	pcfg := pipeline.DefaultConfig()
 	bu := branch.NewUnit(pcfg.BranchEntries, pcfg.BTBEntries, pcfg.RASDepth, pcfg.HistoryBits)
-	return pipeline.New(pcfg, mem.NewHierarchy(mem.DefaultConfig()), bu)
+	pipe, err := pipeline.New(pcfg, mem.MustNewHierarchy(mem.DefaultConfig()), bu)
+	if err != nil {
+		panic(err)
+	}
+	return pipe
+}
+
+// mustController wraps NewController for configurations the tests know
+// to be valid.
+func mustController(pipe *pipeline.Pipeline, cfg Config, threads []*Thread) *Controller {
+	c, err := NewController(pipe, cfg, threads)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
 
 func newThread(prof workload.Profile, slot int) *Thread {
@@ -61,7 +75,7 @@ func runPair(t *testing.T, policy Policy, cycles uint64) *Controller {
 	t.Helper()
 	pipe := newMachine()
 	threads := []*Thread{newThread(hogProfile(), 0), newThread(victimProfile(), 1)}
-	c := NewController(pipe, testConfig(policy), threads)
+	c := mustController(pipe, testConfig(policy), threads)
 	c.RunCycles(cycles)
 	return c
 }
@@ -71,7 +85,7 @@ func runSingle(t *testing.T, prof workload.Profile, slot int, cycles uint64) flo
 	t.Helper()
 	pipe := newMachine()
 	th := newThread(prof, slot)
-	c := NewController(pipe, testConfig(EventOnly{}), []*Thread{th})
+	c := mustController(pipe, testConfig(EventOnly{}), []*Thread{th})
 	c.RunCycles(cycles)
 	cnt := th.Counters()
 	return float64(cnt.Instrs) / float64(cnt.Cycles)
@@ -80,7 +94,7 @@ func runSingle(t *testing.T, prof workload.Profile, slot int, cycles uint64) flo
 func TestSingleThreadNeverSwitches(t *testing.T) {
 	pipe := newMachine()
 	th := newThread(victimProfile(), 0)
-	c := NewController(pipe, testConfig(EventOnly{}), []*Thread{th})
+	c := mustController(pipe, testConfig(EventOnly{}), []*Thread{th})
 	c.RunCycles(100_000)
 	if c.Switches().Total() != 0 {
 		t.Fatalf("single-thread run switched: %+v", c.Switches())
@@ -196,7 +210,7 @@ func TestMaxCyclesQuotaGuaranteesRotation(t *testing.T) {
 	pipe := newMachine()
 	threads := []*Thread{newThread(hogProfile(), 0), newThread(hogProfile(), 1)}
 	cfg := testConfig(EventOnly{})
-	c := NewController(pipe, cfg, threads)
+	c := mustController(pipe, cfg, threads)
 	c.RunCycles(100_000)
 	if c.Switches().MaxQuota == 0 {
 		t.Fatal("max-cycles quota never fired for two no-miss threads")
@@ -252,7 +266,7 @@ func TestResetStatsClearsMeasurementKeepsState(t *testing.T) {
 func TestRunTargetStopsWhenBothComplete(t *testing.T) {
 	pipe := newMachine()
 	threads := []*Thread{newThread(hogProfile(), 0), newThread(victimProfile(), 1)}
-	c := NewController(pipe, testConfig(Fairness{F: 1}), threads)
+	c := mustController(pipe, testConfig(Fairness{F: 1}), threads)
 	cycles := c.Run(5_000, 0)
 	if cycles == 0 {
 		t.Fatal("Run did nothing")
@@ -265,7 +279,7 @@ func TestRunTargetStopsWhenBothComplete(t *testing.T) {
 	// With a max-cycle cap, Run must stop early.
 	pipe2 := newMachine()
 	threads2 := []*Thread{newThread(hogProfile(), 0), newThread(victimProfile(), 1)}
-	c2 := NewController(pipe2, testConfig(EventOnly{}), threads2)
+	c2 := mustController(pipe2, testConfig(EventOnly{}), threads2)
 	got := c2.Run(1<<40, 10_000)
 	if got != 10_000 {
 		t.Fatalf("maxCycles cap returned %d", got)
@@ -290,7 +304,7 @@ func TestNaiveDeficitSwitchesAtLeastAsOften(t *testing.T) {
 		threads := []*Thread{newThread(hogProfile(), 0), newThread(victimProfile(), 1)}
 		cfg := testConfig(Fairness{F: 1})
 		cfg.NaiveDeficit = naive
-		c := NewController(pipe, cfg, threads)
+		c := mustController(pipe, cfg, threads)
 		c.RunCycles(cycles)
 		return c.Switches().Quota
 	}
@@ -312,7 +326,7 @@ func TestMeasuredMissLatApproximatesMemoryLatency(t *testing.T) {
 	th := newThread(victimProfile(), 0)
 	cfg := testConfig(EventOnly{})
 	cfg.MeasureMissLat = true
-	c := NewController(pipe, cfg, []*Thread{th})
+	c := mustController(pipe, cfg, []*Thread{th})
 	c.RunCycles(300_000)
 	got := c.MeasuredMissLat()
 	// Head-observed residual latency: detection happens after the
@@ -323,7 +337,7 @@ func TestMeasuredMissLatApproximatesMemoryLatency(t *testing.T) {
 	}
 	// Measurement off -> constant.
 	cfg.MeasureMissLat = false
-	c2 := NewController(newMachine(), cfg, []*Thread{newThread(victimProfile(), 0)})
+	c2 := mustController(newMachine(), cfg, []*Thread{newThread(victimProfile(), 0)})
 	if c2.MeasuredMissLat() != cfg.MissLat {
 		t.Error("constant miss latency not returned when measurement off")
 	}
@@ -345,28 +359,39 @@ func TestCountersExcludeSwitchOverhead(t *testing.T) {
 	}
 }
 
-func TestControllerPanicsOnBadConstruction(t *testing.T) {
+func TestControllerErrorsOnBadConstruction(t *testing.T) {
 	pipe := newMachine()
-	for i, build := range []func(){
-		func() { NewController(pipe, testConfig(EventOnly{}), nil) },
-		func() {
-			cfg := testConfig(nil)
-			NewController(pipe, cfg, []*Thread{newThread(hogProfile(), 0)})
+	badDrain := testConfig(EventOnly{})
+	badDrain.DrainCycles = 0
+	badAlpha := testConfig(EventOnly{})
+	badAlpha.SmoothAlpha = 1.5
+	badMissLat := testConfig(EventOnly{})
+	badMissLat.MissLat = -1
+	for i, build := range []func() (*Controller, error){
+		func() (*Controller, error) { return NewController(pipe, testConfig(EventOnly{}), nil) },
+		func() (*Controller, error) {
+			return NewController(nil, testConfig(EventOnly{}), []*Thread{newThread(hogProfile(), 0)})
 		},
-		func() {
-			cfg := testConfig(EventOnly{})
-			cfg.DrainCycles = 0
-			NewController(pipe, cfg, []*Thread{newThread(hogProfile(), 0)})
+		func() (*Controller, error) {
+			return NewController(pipe, testConfig(nil), []*Thread{newThread(hogProfile(), 0)})
+		},
+		func() (*Controller, error) {
+			return NewController(pipe, badDrain, []*Thread{newThread(hogProfile(), 0)})
+		},
+		func() (*Controller, error) {
+			return NewController(pipe, badAlpha, []*Thread{newThread(hogProfile(), 0)})
+		},
+		func() (*Controller, error) {
+			return NewController(pipe, badMissLat, []*Thread{newThread(hogProfile(), 0)})
+		},
+		func() (*Controller, error) {
+			return NewController(pipe, testConfig(EventOnly{}), []*Thread{{Name: "nostream"}})
 		},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("case %d: expected panic", i)
-				}
-			}()
-			build()
-		}()
+		c, err := build()
+		if err == nil || c != nil {
+			t.Errorf("case %d: expected construction error, got (%v, %v)", i, c, err)
+		}
 	}
 }
 
@@ -414,7 +439,7 @@ func TestSamplePartialWindowIPC(t *testing.T) {
 	pipe := newMachine()
 	threads := []*Thread{newThread(hogProfile(), 0), newThread(victimProfile(), 1)}
 	cfg := testConfig(EventOnly{})
-	c := NewController(pipe, cfg, threads)
+	c := mustController(pipe, cfg, threads)
 
 	// One full window plus half of the next.
 	c.RunCycles(cfg.Delta + cfg.Delta/2)
@@ -463,7 +488,7 @@ func TestSamplePartialWindowIPC(t *testing.T) {
 func TestRunTruncatedFlag(t *testing.T) {
 	pipe := newMachine()
 	threads := []*Thread{newThread(hogProfile(), 0), newThread(victimProfile(), 1)}
-	c := NewController(pipe, testConfig(EventOnly{}), threads)
+	c := mustController(pipe, testConfig(EventOnly{}), threads)
 	if c.Run(1<<40, 10_000) != 10_000 {
 		t.Fatal("cap did not bind")
 	}

@@ -22,7 +22,7 @@ func TestSwitchOnPauseExtension(t *testing.T) {
 		threads := []*Thread{newThread(pauseProfile(), 0), newThread(hogProfile(), 1)}
 		cfg := testConfig(EventOnly{})
 		cfg.SwitchOnPause = enabled
-		c := NewController(pipe, cfg, threads)
+		c := mustController(pipe, cfg, threads)
 		c.RunCycles(100_000)
 		return c
 	}
@@ -52,7 +52,7 @@ func TestThreeThreadSOE(t *testing.T) {
 		newThread(hogProfile(), 1),
 		newThread(victimProfile2(), 2),
 	}
-	c := NewController(pipe, testConfig(Fairness{F: 0.5}), threads)
+	c := mustController(pipe, testConfig(Fairness{F: 0.5}), threads)
 	c.RunCycles(600_000)
 	for i, th := range threads {
 		if th.Retired() == 0 {
@@ -99,7 +99,7 @@ func TestThroughputScalesWithThreads(t *testing.T) {
 			p.Seed += uint64(i) // distinct streams
 			threads = append(threads, newThread(p, i))
 		}
-		c := NewController(pipe, testConfig(EventOnly{}), threads)
+		c := mustController(pipe, testConfig(EventOnly{}), threads)
 		c.RunCycles(cycles)
 		var instrs uint64
 		for _, th := range threads {
@@ -136,7 +136,7 @@ func TestSwitchOnL1MissExtension(t *testing.T) {
 		threads := []*Thread{newThread(warmHeavy(21), 0), newThread(warmHeavy(22), 1)}
 		cfg := testConfig(EventOnly{})
 		cfg.SwitchOnL1Miss = enabled
-		c := NewController(pipe, cfg, threads)
+		c := mustController(pipe, cfg, threads)
 		c.RunCycles(200_000)
 		return c
 	}

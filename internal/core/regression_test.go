@@ -21,7 +21,7 @@ func TestNoForcedSwitchesForMissBoundPairs(t *testing.T) {
 	b := victimProfile()
 	b.Seed = 999
 	threads := []*Thread{newThread(a, 0), newThread(b, 1)}
-	c := NewController(pipe, testConfig(Fairness{F: 0.25}), threads)
+	c := mustController(pipe, testConfig(Fairness{F: 0.25}), threads)
 	c.RunCycles(400_000)
 	sw := c.Switches()
 	if sw.Miss == 0 {
@@ -42,7 +42,7 @@ func TestPingPongMissesNotRecounted(t *testing.T) {
 	// Single-thread reference miss density.
 	pipeST := newMachine()
 	thST := newThread(victimProfile(), 0)
-	cST := NewController(pipeST, testConfig(EventOnly{}), []*Thread{thST})
+	cST := mustController(pipeST, testConfig(EventOnly{}), []*Thread{thST})
 	cST.RunCycles(400_000)
 	stIPM := thST.Counters().IPM()
 
@@ -52,7 +52,7 @@ func TestPingPongMissesNotRecounted(t *testing.T) {
 	b := victimProfile()
 	b.Seed = 999
 	threads := []*Thread{newThread(a, 0), newThread(b, 1)}
-	c := NewController(pipe, testConfig(EventOnly{}), threads)
+	c := mustController(pipe, testConfig(EventOnly{}), threads)
 	c.RunCycles(800_000)
 	soeIPM := threads[0].Counters().IPM()
 
@@ -81,7 +81,7 @@ func TestDeficitMaintainsQuotaAverage(t *testing.T) {
 	pipe := newMachine()
 	threads := []*Thread{newThread(hogProfile(), 0), newThread(victimProfile(), 1)}
 	cfg := testConfig(Fairness{F: 1})
-	c := NewController(pipe, cfg, threads)
+	c := mustController(pipe, cfg, threads)
 	c.RunCycles(800_000)
 	hog := threads[0]
 	// Quotas are resampled every Δ; compare the realized visit length

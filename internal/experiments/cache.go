@@ -12,13 +12,23 @@
 //  1. in-memory map — hits share the same *sim.Result pointer (results
 //     are treated as immutable once published);
 //  2. on-disk JSON store under Dir() — survives process restarts; reads
-//     verify the schema version and key before trusting a file;
+//     verify the schema version, key, and a content checksum before
+//     trusting a file;
 //  3. in-flight dedup — concurrent requests for the same key run one
 //     simulation and share its outcome (singleflight), replacing the
 //     duplicate-work race the Runner previously documented.
+//
+// The disk layer is strictly best-effort: a directory that cannot be
+// created degrades the cache to memory-only at construction, and a
+// store that turns read-only mid-run (every write failing) disables
+// further writes after a few consecutive failures. Neither ever fails
+// or corrupts a run — the worst case is re-simulation.
 package experiments
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -26,24 +36,44 @@ import (
 	"sync"
 	"time"
 
+	"soemt/internal/faultinject"
 	"soemt/internal/sim"
 )
+
+// maxWriteFails is how many consecutive disk-write failures the cache
+// tolerates before concluding the store is unusable (disk full, turned
+// read-only) and going memory-only for writes.
+const maxWriteFails = 3
+
+// interruptMarkerFile marks a cache directory whose producing run was
+// interrupted: the entries are individually valid but the matrix they
+// belong to is incomplete. See MarkInterrupted.
+const interruptMarkerFile = "INTERRUPTED"
 
 // Cache is a content-addressed store of simulation results. The zero
 // value is not usable; construct with NewCache or NewMemCache. All
 // methods are safe for concurrent use.
 type Cache struct {
 	dir string // "" = memory-only
-	run func(sim.Spec) (*sim.Result, error)
+	run func(context.Context, sim.Spec) (*sim.Result, error)
 
 	// Logf, if non-nil, receives warnings about best-effort disk
 	// operations (a failed write never fails the run that produced the
 	// result). May be called from multiple goroutines.
 	Logf func(format string, args ...interface{})
 
-	mu       sync.Mutex
-	mem      map[string]*sim.Result
-	inflight map[string]*inflightRun
+	// Faults, if non-nil, deterministically injects faults at the
+	// cache's named sites (currently "cache.write"). Nil in production;
+	// see internal/faultinject.
+	Faults *faultinject.Injector
+
+	mu        sync.Mutex
+	mem       map[string]*sim.Result
+	inflight  map[string]*inflightRun
+	degraded  error // mkdir failure that demoted the cache to memory-only
+	warned    bool  // degradation warning emitted
+	failRun   int   // consecutive disk-write failures
+	writesOff bool  // disk writes disabled after maxWriteFails in a row
 
 	m metrics
 }
@@ -57,19 +87,25 @@ type inflightRun struct {
 }
 
 // NewCache returns a cache persisting to dir (created if missing).
-// An empty dir yields a memory-only cache.
+// An empty dir yields a memory-only cache. A directory that cannot be
+// created does not fail construction: the cache degrades to
+// memory-only, records the cause (see Degraded), and warns through
+// Logf on first use — an unwritable scratch disk costs re-simulation,
+// never the run.
 func NewCache(dir string) (*Cache, error) {
-	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, fmt.Errorf("experiments: cache dir: %w", err)
-		}
-	}
-	return &Cache{
+	c := &Cache{
 		dir:      dir,
-		run:      sim.Run,
+		run:      sim.RunContext,
 		mem:      make(map[string]*sim.Result),
 		inflight: make(map[string]*inflightRun),
-	}, nil
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			c.dir = ""
+			c.degraded = fmt.Errorf("experiments: cache dir %s: %w", dir, err)
+		}
+	}
+	return c, nil
 }
 
 // NewMemCache returns an in-memory (non-persistent) cache.
@@ -78,8 +114,17 @@ func NewMemCache() *Cache {
 	return c
 }
 
-// Dir returns the on-disk store directory ("" for memory-only caches).
+// Dir returns the on-disk store directory ("" for memory-only caches,
+// including caches degraded to memory-only at construction).
 func (c *Cache) Dir() string { return c.dir }
+
+// Degraded returns the error that demoted this cache to memory-only at
+// construction, or nil when the disk layer came up normally.
+func (c *Cache) Degraded() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded
+}
 
 // Metrics returns a snapshot of the cache's instrumentation.
 func (c *Cache) Metrics() RunnerMetrics { return c.m.snapshot() }
@@ -90,10 +135,33 @@ func (c *Cache) logf(format string, args ...interface{}) {
 	}
 }
 
-// RunSpec executes spec through the cache: fingerprint, layered
-// lookup, singleflight simulation on miss, store. Returned results are
-// shared and must not be mutated.
+// warnDegraded emits the construction-time degradation warning once.
+// It runs lazily because Logf is typically installed after NewCache.
+func (c *Cache) warnDegraded() {
+	c.mu.Lock()
+	d, warned := c.degraded, c.warned
+	c.warned = true
+	c.mu.Unlock()
+	if d != nil && !warned {
+		c.logf("WARN cache: persistent store unavailable, running memory-only: %v", d)
+	}
+}
+
+// RunSpec executes spec through the cache without external
+// cancellation; see RunSpecContext.
 func (c *Cache) RunSpec(spec sim.Spec) (*sim.Result, error) {
+	return c.RunSpecContext(context.Background(), spec)
+}
+
+// RunSpecContext executes spec through the cache: fingerprint, layered
+// lookup, singleflight simulation on miss, store. The simulation runs
+// under ctx (cancellation, plus the spec's own watchdog). Returned
+// results are shared and must not be mutated.
+//
+// When concurrent callers collapse onto one in-flight simulation, the
+// first caller's ctx governs it; a cancellation there surfaces to
+// every waiter as that run's error, and a later call retries.
+func (c *Cache) RunSpecContext(ctx context.Context, spec sim.Spec) (*sim.Result, error) {
 	key, err := Fingerprint(spec)
 	if err != nil {
 		return nil, err
@@ -101,7 +169,7 @@ func (c *Cache) RunSpec(spec sim.Spec) (*sim.Result, error) {
 	res, _, err := c.Do(key, func() (*sim.Result, error) {
 		c.m.runsStarted.Add(1)
 		start := time.Now()
-		r, err := c.run(spec)
+		r, err := c.run(ctx, spec)
 		if err != nil {
 			c.m.runsFailed.Add(1)
 			return nil, err
@@ -123,6 +191,7 @@ func (c *Cache) RunSpec(spec sim.Spec) (*sim.Result, error) {
 // disk, or a concurrent caller's run). Errors are not cached: a later
 // call retries.
 func (c *Cache) Do(key string, fn func() (*sim.Result, error)) (*sim.Result, bool, error) {
+	c.warnDegraded()
 	c.mu.Lock()
 	if res, ok := c.mem[key]; ok {
 		c.mu.Unlock()
@@ -211,12 +280,52 @@ func (c *Cache) Put(key string, res *sim.Result) error {
 	return c.writeDisk(key, res)
 }
 
-// diskEntry is the on-disk envelope. Schema and Key are verified on
-// read so a stale or foreign file degrades to a cache miss, never to a
-// wrong result.
+// MarkInterrupted writes the interrupt marker into the cache
+// directory, recording that the run producing this store was cut short
+// (note explains why, e.g. "SIGINT"). Individual entries stay valid —
+// a rerun over the same directory warm-resumes from them — but
+// consumers of the whole matrix can see it is incomplete. No-op for
+// memory-only caches.
+func (c *Cache) MarkInterrupted(note string) error {
+	if c.dir == "" {
+		return nil
+	}
+	return os.WriteFile(filepath.Join(c.dir, interruptMarkerFile), []byte(note+"\n"), 0o644)
+}
+
+// ClearInterrupted removes the interrupt marker (a completed run over
+// the directory supersedes any earlier interruption).
+func (c *Cache) ClearInterrupted() error {
+	if c.dir == "" {
+		return nil
+	}
+	err := os.Remove(filepath.Join(c.dir, interruptMarkerFile))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Interrupted reports whether the cache directory carries an interrupt
+// marker from an earlier run, and returns the recorded note.
+func (c *Cache) Interrupted() (string, bool) {
+	if c.dir == "" {
+		return "", false
+	}
+	data, err := os.ReadFile(filepath.Join(c.dir, interruptMarkerFile))
+	if err != nil {
+		return "", false
+	}
+	return string(data), true
+}
+
+// diskEntry is the on-disk envelope. Schema, Key, and Sum are verified
+// on read so a stale, foreign, or corrupted file degrades to a cache
+// miss, never to a wrong result.
 type diskEntry struct {
 	Schema string      `json:"schema"`
 	Key    string      `json:"key"`
+	Sum    string      `json:"sum,omitempty"` // sha256 of the marshaled Result
 	Result *sim.Result `json:"result"`
 }
 
@@ -224,9 +333,25 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
+// resultSum is the integrity checksum stored in diskEntry.Sum. It is
+// computed over json.Marshal(res); Go's float64 encoding is
+// shortest-round-trip, so marshal∘unmarshal∘marshal is a fixed point
+// and the read side can recompute the sum from the decoded result.
+func resultSum(res *sim.Result) (string, error) {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
 // readDisk returns the stored result for key, or nil when the disk
-// layer is disabled, the file is absent, or the entry fails schema or
-// key verification (corrupt and stale entries are misses, not errors).
+// layer is disabled, the file is absent, or the entry fails schema,
+// key, or checksum verification (corrupt and stale entries are misses,
+// not errors — and never wrong results: flipped bytes that still parse
+// as JSON are caught by the checksum). Entries written before the
+// checksum existed (empty Sum) are accepted for compatibility.
 func (c *Cache) readDisk(key string) *sim.Result {
 	if c.dir == "" {
 		return nil
@@ -243,6 +368,13 @@ func (c *Cache) readDisk(key string) *sim.Result {
 	if e.Schema != SchemaVersion || e.Key != key || e.Result == nil {
 		return nil
 	}
+	if e.Sum != "" {
+		sum, err := resultSum(e.Result)
+		if err != nil || sum != e.Sum {
+			c.logf("WARN cache: checksum mismatch on entry %.12s…, treating as miss", key)
+			return nil
+		}
+	}
 	c.mu.Lock()
 	if prev, ok := c.mem[key]; ok {
 		// Keep the pointer already published to other callers.
@@ -254,11 +386,55 @@ func (c *Cache) readDisk(key string) *sim.Result {
 	return e.Result
 }
 
+// writesDisabled reports whether the write side of the disk layer has
+// been turned off by consecutive failures.
+func (c *Cache) writesDisabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writesOff
+}
+
+// noteWrite tracks consecutive write failures; after maxWriteFails in
+// a row the store is presumed unusable (read-only remount, disk full)
+// and further writes are skipped. Reads stay enabled — existing
+// entries remain trustworthy.
+func (c *Cache) noteWrite(err error) {
+	c.mu.Lock()
+	if err == nil {
+		c.failRun = 0
+		c.mu.Unlock()
+		return
+	}
+	c.failRun++
+	turnOff := !c.writesOff && c.failRun >= maxWriteFails
+	if turnOff {
+		c.writesOff = true
+	}
+	c.mu.Unlock()
+	if turnOff {
+		c.logf("WARN cache: %d consecutive write failures; disabling disk writes (results stay in memory, reruns will re-simulate)", maxWriteFails)
+	}
+}
+
 func (c *Cache) writeDisk(key string, res *sim.Result) error {
-	if c.dir == "" {
+	if c.dir == "" || c.writesDisabled() {
 		return nil
 	}
-	data, err := json.Marshal(diskEntry{Schema: SchemaVersion, Key: key, Result: res})
+	if err := c.Faults.Fail("cache.write"); err != nil {
+		c.noteWrite(err)
+		return err
+	}
+	err := c.writeDiskFile(key, res)
+	c.noteWrite(err)
+	return err
+}
+
+func (c *Cache) writeDiskFile(key string, res *sim.Result) error {
+	sum, err := resultSum(res)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(diskEntry{Schema: SchemaVersion, Key: key, Sum: sum, Result: res})
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"os"
@@ -104,7 +105,7 @@ func TestCacheRoundTripDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2.run = func(sim.Spec) (*sim.Result, error) {
+	c2.run = func(context.Context, sim.Spec) (*sim.Result, error) {
 		t.Fatal("warm cache must not simulate")
 		return nil, nil
 	}
@@ -170,7 +171,7 @@ func TestCacheSingleflightDedup(t *testing.T) {
 	var calls atomic.Uint64
 	started := make(chan struct{})
 	release := make(chan struct{})
-	c.run = func(sim.Spec) (*sim.Result, error) {
+	c.run = func(context.Context, sim.Spec) (*sim.Result, error) {
 		calls.Add(1)
 		close(started)
 		<-release
@@ -216,7 +217,7 @@ func TestCacheSingleflightDedup(t *testing.T) {
 func stubRunner(t *testing.T, onPair func(sim.Spec) (*sim.Result, error)) *Runner {
 	t.Helper()
 	r := NewRunner(testOptions())
-	r.Cache().run = func(spec sim.Spec) (*sim.Result, error) {
+	r.Cache().run = func(_ context.Context, spec sim.Spec) (*sim.Result, error) {
 		if len(spec.Threads) == 1 {
 			return fakeResult(1), nil
 		}
@@ -301,7 +302,7 @@ func TestRunnerPersistentCacheMetrics(t *testing.T) {
 		if err := r.SetCacheDir(dir); err != nil {
 			t.Fatal(err)
 		}
-		r.Cache().run = func(spec sim.Spec) (*sim.Result, error) {
+		r.Cache().run = func(_ context.Context, spec sim.Spec) (*sim.Result, error) {
 			sims.Add(1)
 			return fakeResult(float64(len(spec.Threads))), nil
 		}

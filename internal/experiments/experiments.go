@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -99,9 +100,14 @@ func ExpFig3(w io.Writer) error {
 }
 
 // ExpExample1 demonstrates the starvation problem (paper Example 1 /
-// Figure 1) on the gcc:eon pair.
+// Figure 1) on the gcc:eon pair; see ExpExample1Context.
 func ExpExample1(w io.Writer, r *Runner) error {
-	pr, err := r.RunPair(Pair{"gcc", "eon"})
+	return ExpExample1Context(context.Background(), w, r)
+}
+
+// ExpExample1Context is ExpExample1 honoring ctx cancellation.
+func ExpExample1Context(ctx context.Context, w io.Writer, r *Runner) error {
+	pr, err := r.RunPairContext(ctx, Pair{"gcc", "eon"})
 	if err != nil {
 		return err
 	}
@@ -136,9 +142,14 @@ type Fig5Data struct {
 // ExpFig5 reproduces the paper's detailed examination (Figure 5):
 // counter-based IPC_ST estimation, per-thread speedups with and
 // without enforcement, and achieved fairness over time for gcc:eon at
-// F = 1/4.
+// F = 1/4. See ExpFig5Context.
 func ExpFig5(w io.Writer, r *Runner) (*Fig5Data, error) {
-	pr, err := r.RunPair(Pair{"gcc", "eon"})
+	return ExpFig5Context(context.Background(), w, r)
+}
+
+// ExpFig5Context is ExpFig5 honoring ctx cancellation.
+func ExpFig5Context(ctx context.Context, w io.Writer, r *Runner) (*Fig5Data, error) {
+	pr, err := r.RunPairContext(ctx, Pair{"gcc", "eon"})
 	if err != nil {
 		return nil, err
 	}
@@ -401,8 +412,13 @@ type TimeShareSummary struct {
 // flushes, a large quota keeps throughput but rarely achieves fair
 // execution. The mechanism delivers fairness at high throughput. Both
 // the analytical Example 2 numbers and a simulated quota sweep on
-// gcc:eon are shown.
+// gcc:eon are shown. See ExpTimeShareContext.
 func ExpTimeShare(w io.Writer, r *Runner) (*TimeShareSummary, error) {
+	return ExpTimeShareContext(context.Background(), w, r)
+}
+
+// ExpTimeShareContext is ExpTimeShare honoring ctx cancellation.
+func ExpTimeShareContext(ctx context.Context, w io.Writer, r *Runner) (*TimeShareSummary, error) {
 	sum := &TimeShareSummary{}
 
 	sys := model.Example2System()
@@ -423,7 +439,7 @@ func ExpTimeShare(w io.Writer, r *Runner) (*TimeShareSummary, error) {
 	fmt.Fprintf(w, "analytical (mechanism, F=1):            speedups [%.2f %.2f], fairness %.2f\n",
 		mech.Speedup[0], mech.Speedup[1], mech.Fairness)
 
-	pr, err := r.RunPair(Pair{"gcc", "eon"})
+	pr, err := r.RunPairContext(ctx, Pair{"gcc", "eon"})
 	if err != nil {
 		return nil, err
 	}
@@ -436,13 +452,14 @@ func ExpTimeShare(w io.Writer, r *Runner) (*TimeShareSummary, error) {
 	for _, q := range []float64{400, 2000, 10000, 50000} {
 		m := r.Opts.Machine
 		m.Controller.Policy = core.TimeShare{QuotaCycles: q}
-		res, err := sim.Run(sim.Spec{
+		res, err := sim.RunContext(ctx, sim.Spec{
 			Machine: m,
 			Threads: []sim.ThreadSpec{
 				{Profile: workload.MustByName("gcc"), Slot: 0},
 				{Profile: workload.MustByName("eon"), Slot: 1},
 			},
-			Scale: r.Opts.Scale,
+			Scale:    r.Opts.Scale,
+			Watchdog: r.Opts.Watchdog,
 		})
 		if err != nil {
 			return nil, err

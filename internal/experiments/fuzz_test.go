@@ -1,0 +1,74 @@
+package experiments
+
+// Native Go fuzzing for the fingerprint: the cache's entire safety
+// argument rests on Fingerprint being total (no panics on weird
+// specs), deterministic, shaped like a sha256 hex digest, and
+// sensitive to every field that changes a result.
+
+import (
+	"strings"
+	"testing"
+
+	"soemt/internal/core"
+	"soemt/internal/sim"
+	"soemt/internal/workload"
+)
+
+func FuzzFingerprint(f *testing.F) {
+	f.Add(300.0, uint64(700_000), 0.5, uint64(0), 0, uint8(0))
+	f.Add(0.0, uint64(1), 0.0, uint64(1_000_000), 1, uint8(3))
+	f.Add(-5.0, uint64(0), -1.5, ^uint64(0), -2, uint8(200))
+
+	names := workload.Names()
+	f.Fuzz(func(t *testing.T, missLat float64, measure uint64, fl float64, startSeq uint64, slot int, nameIdx uint8) {
+		prof := workload.MustByName(names[int(nameIdx)%len(names)])
+		m := sim.DefaultMachine()
+		m.Controller.MissLat = missLat
+		if fl > 0 {
+			m.Controller.Policy = core.Fairness{F: fl}
+		} else {
+			m.Controller.Policy = core.EventOnly{}
+		}
+		spec := sim.Spec{
+			Machine: m,
+			Threads: []sim.ThreadSpec{{Profile: prof, Slot: slot, StartSeq: startSeq}},
+			Scale:   sim.Scale{Measure: measure},
+		}
+
+		// Total and deterministic, even on specs Validate would reject.
+		k1, err := Fingerprint(spec)
+		if err != nil {
+			t.Fatalf("Fingerprint error on marshalable spec: %v", err)
+		}
+		k2, err := Fingerprint(spec)
+		if err != nil || k1 != k2 {
+			t.Fatalf("Fingerprint not deterministic: %q vs %q (%v)", k1, k2, err)
+		}
+		if len(k1) != 64 || strings.Trim(k1, "0123456789abcdef") != "" {
+			t.Fatalf("fingerprint %q is not a sha256 hex digest", k1)
+		}
+
+		// Sensitive to the measurement target (a representative field:
+		// two specs differing only here must not share an entry).
+		bumped := spec
+		bumped.Scale.Measure++
+		kb, err := Fingerprint(bumped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kb == k1 {
+			t.Fatal("fingerprint insensitive to Scale.Measure")
+		}
+
+		// The watchdog is execution policy: it must never reach the key.
+		guarded := spec
+		guarded.Watchdog = sim.Watchdog{Timeout: 1, StallCycles: 1}
+		kg, err := Fingerprint(guarded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kg != k1 {
+			t.Fatal("watchdog settings leaked into the fingerprint")
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"soemt/internal/core"
+	"soemt/internal/faultinject"
 	"soemt/internal/sim"
 	"soemt/internal/workload"
 )
@@ -21,6 +22,11 @@ type Options struct {
 	// SameOffset is the instruction offset between the two threads of
 	// a same-benchmark pair (the paper uses 1,000,000).
 	SameOffset uint64
+	// Watchdog bounds each simulation's wall-clock time and forward
+	// progress. It is execution policy, not simulation input: it is
+	// excluded from fingerprints, so guarded and unguarded runs share
+	// cache entries.
+	Watchdog sim.Watchdog
 }
 
 // DefaultOptions returns quick-scale options (shapes hold; absolute
@@ -103,10 +109,17 @@ type Runner struct {
 	// GOMAXPROCS.
 	Workers int
 
+	// Faults, if non-nil, deterministically injects faults into the
+	// worker pool (sites "worker.delay" and "worker.panic") and is
+	// propagated to the cache. Nil in production; see
+	// internal/faultinject.
+	Faults *faultinject.Injector
+
 	cache *Cache
 
 	mu    sync.Mutex
 	pairs map[string]*PairRun
+	used  bool // a simulation has been requested through this runner
 
 	// Progress, if non-nil, receives one line per completed run. It
 	// may be called from multiple goroutines.
@@ -125,13 +138,22 @@ func NewRunner(opts Options) *Runner {
 }
 
 // SetCacheDir switches the runner to a persistent cache rooted at dir
-// (created if missing). Call before the first run.
+// (created if missing; an uncreatable dir degrades to memory-only with
+// a warning rather than failing). It must be called before the first
+// run: switching afterwards would let results memoized under the old
+// cache shadow the new store, so it returns an error instead.
 func (r *Runner) SetCacheDir(dir string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.used {
+		return fmt.Errorf("experiments: SetCacheDir(%q) after the runner has executed runs; configure the cache before the first run", dir)
+	}
 	c, err := NewCache(dir)
 	if err != nil {
 		return err
 	}
 	c.Logf = r.logf
+	c.Faults = r.Faults
 	r.cache = c
 	return nil
 }
@@ -149,6 +171,17 @@ func (r *Runner) logf(format string, args ...interface{}) {
 	}
 }
 
+// markUsed freezes the runner's cache configuration (see SetCacheDir)
+// and propagates the fault injector installed by tests.
+func (r *Runner) markUsed() {
+	r.mu.Lock()
+	if !r.used {
+		r.used = true
+		r.cache.Faults = r.Faults
+	}
+	r.mu.Unlock()
+}
+
 // warnTruncated logs when a run hit Scale.MaxCycles before reaching
 // its measurement target: its IPC covers fewer instructions than
 // requested and should be treated as approximate.
@@ -159,20 +192,29 @@ func (r *Runner) warnTruncated(label string, res *sim.Result) {
 	}
 }
 
-// STRef returns the single-thread reference result for a profile.
-// Safe for concurrent use; concurrent callers for the same profile
-// share one in-flight simulation via the cache's singleflight layer.
+// STRef returns the single-thread reference result for a profile; see
+// STRefContext.
 func (r *Runner) STRef(name string) (*sim.Result, error) {
+	return r.STRefContext(context.Background(), name)
+}
+
+// STRefContext returns the single-thread reference result for a
+// profile, honoring ctx. Safe for concurrent use; concurrent callers
+// for the same profile share one in-flight simulation via the cache's
+// singleflight layer.
+func (r *Runner) STRefContext(ctx context.Context, name string) (*sim.Result, error) {
 	prof, ok := workload.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown profile %q", name)
 	}
+	r.markUsed()
 	machine := r.Opts.Machine
 	machine.Controller.Policy = core.EventOnly{}
-	res, err := r.cache.RunSpec(sim.Spec{
-		Machine: machine,
-		Threads: []sim.ThreadSpec{{Profile: prof, Slot: 0}},
-		Scale:   r.Opts.Scale,
+	res, err := r.cache.RunSpecContext(ctx, sim.Spec{
+		Machine:  machine,
+		Threads:  []sim.ThreadSpec{{Profile: prof, Slot: 0}},
+		Scale:    r.Opts.Scale,
+		Watchdog: r.Opts.Watchdog,
 	})
 	if err != nil {
 		return nil, err
@@ -190,8 +232,16 @@ func policyFor(f float64) core.Policy {
 	return core.Fairness{F: f}
 }
 
-// RunPairAt runs one pair at one enforcement level through the cache.
+// RunPairAt runs one pair at one enforcement level through the cache;
+// see RunPairAtContext.
 func (r *Runner) RunPairAt(p Pair, f float64) (*sim.Result, error) {
+	return r.RunPairAtContext(context.Background(), p, f)
+}
+
+// RunPairAtContext runs one pair at one enforcement level through the
+// cache, honoring ctx.
+func (r *Runner) RunPairAtContext(ctx context.Context, p Pair, f float64) (*sim.Result, error) {
+	r.markUsed()
 	m := r.Opts.Machine
 	m.Controller.Policy = policyFor(f)
 	spec := sim.Spec{
@@ -200,12 +250,13 @@ func (r *Runner) RunPairAt(p Pair, f float64) (*sim.Result, error) {
 			{Profile: workload.MustByName(p.A), Slot: 0},
 			{Profile: workload.MustByName(p.B), Slot: 1},
 		},
-		Scale: r.Opts.Scale,
+		Scale:    r.Opts.Scale,
+		Watchdog: r.Opts.Watchdog,
 	}
 	if p.Same() {
 		spec.Threads[1].StartSeq = r.Opts.SameOffset
 	}
-	res, err := r.cache.RunSpec(spec)
+	res, err := r.cache.RunSpecContext(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -215,10 +266,17 @@ func (r *Runner) RunPairAt(p Pair, f float64) (*sim.Result, error) {
 	return res, nil
 }
 
-// RunPair runs the full F matrix plus ST references for one pair and
-// memoizes the assembled PairRun. Safe for concurrent use; the
-// underlying simulations are deduplicated by the cache.
+// RunPair runs the full F matrix plus ST references for one pair; see
+// RunPairContext.
 func (r *Runner) RunPair(p Pair) (*PairRun, error) {
+	return r.RunPairContext(context.Background(), p)
+}
+
+// RunPairContext runs the full F matrix plus ST references for one
+// pair and memoizes the assembled PairRun. Safe for concurrent use;
+// the underlying simulations are deduplicated by the cache. A
+// cancelled or failed pair is not memoized — a later call retries.
+func (r *Runner) RunPairContext(ctx context.Context, p Pair) (*PairRun, error) {
 	r.mu.Lock()
 	pr, ok := r.pairs[p.Name()]
 	r.mu.Unlock()
@@ -227,7 +285,7 @@ func (r *Runner) RunPair(p Pair) (*PairRun, error) {
 	}
 	pr = &PairRun{Pair: p, ByF: make(map[float64]*sim.Result)}
 	for i, name := range []string{p.A, p.B} {
-		res, err := r.STRef(name)
+		res, err := r.STRefContext(ctx, name)
 		if err != nil {
 			return nil, err
 		}
@@ -235,7 +293,7 @@ func (r *Runner) RunPair(p Pair) (*PairRun, error) {
 		pr.STRuns[i] = res
 	}
 	for _, f := range FLevels {
-		res, err := r.RunPairAt(p, f)
+		res, err := r.RunPairAtContext(ctx, p, f)
 		if err != nil {
 			return nil, err
 		}
@@ -261,7 +319,13 @@ func (r *Runner) RunAll() ([]*PairRun, error) {
 // deterministic, so the results do not depend on scheduling). The
 // first error — including a recovered worker panic, or ctx being
 // cancelled — stops dispatching; already-running simulations finish
-// but no new pairs start, and the first error is returned.
+// but no new pairs start.
+//
+// The returned slice is indexed like Pairs() and always carries every
+// pair completed before the stop (nil for pairs that never finished),
+// so an interrupted invocation can still flush partial results; the
+// error reports why the matrix is incomplete. On success the error is
+// nil and every slot is non-nil.
 func (r *Runner) RunAllContext(ctx context.Context) ([]*PairRun, error) {
 	ps := Pairs()
 	out := make([]*PairRun, len(ps))
@@ -274,7 +338,7 @@ func (r *Runner) RunAllContext(ctx context.Context) ([]*PairRun, error) {
 		workers = len(ps)
 	}
 
-	ctx, cancel := context.WithCancel(ctx)
+	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	var (
@@ -294,7 +358,9 @@ func (r *Runner) RunAllContext(ctx context.Context) ([]*PairRun, error) {
 				err = fmt.Errorf("experiments: pair %s: worker panic: %v", p.Name(), rec)
 			}
 		}()
-		return r.RunPair(p)
+		r.Faults.Sleep("worker.delay")
+		r.Faults.MaybePanic("worker.panic")
+		return r.RunPairContext(runCtx, p)
 	}
 
 	var wg sync.WaitGroup
@@ -304,7 +370,7 @@ func (r *Runner) RunAllContext(ctx context.Context) ([]*PairRun, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				if ctx.Err() != nil {
+				if runCtx.Err() != nil {
 					continue // drain without running
 				}
 				pr, err := runOne(ps[i])
@@ -320,7 +386,7 @@ dispatch:
 	for i := range ps {
 		select {
 		case next <- i:
-		case <-ctx.Done():
+		case <-runCtx.Done():
 			break dispatch
 		}
 	}
@@ -328,10 +394,10 @@ dispatch:
 	wg.Wait()
 
 	if firstErr != nil {
-		return nil, firstErr
+		return out, firstErr
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	if err := runCtx.Err(); err != nil {
+		return out, err
 	}
 	r.logf("metrics: %s", r.Metrics())
 	return out, nil

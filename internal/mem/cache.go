@@ -63,19 +63,14 @@ type Cache struct {
 	Stats    CacheStats
 }
 
-// NewCache builds a cache from cfg. Sizes must divide evenly; this is
-// a configuration error, so NewCache panics on invalid geometry.
-func NewCache(cfg CacheConfig) *Cache {
-	if cfg.LineSize <= 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
-		panic("mem: line size must be a positive power of two")
-	}
-	if cfg.Ways <= 0 || cfg.SizeKB <= 0 {
-		panic("mem: ways and size must be positive")
+// NewCache builds a cache from cfg. Invalid geometry (see
+// CacheConfig.Validate) is a configuration error and is returned, not
+// panicked, so bad CLI flags and sweep values surface cleanly.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	nSets := cfg.Sets()
-	if nSets <= 0 || nSets&(nSets-1) != 0 {
-		panic("mem: set count must be a positive power of two")
-	}
 	sets := make([][]cacheLine, nSets)
 	backing := make([]cacheLine, nSets*cfg.Ways)
 	for i := range sets {
@@ -90,7 +85,7 @@ func NewCache(cfg CacheConfig) *Cache {
 		sets:     sets,
 		setMask:  uint64(nSets - 1),
 		lineBits: lineBits,
-	}
+	}, nil
 }
 
 // Config returns the cache geometry.

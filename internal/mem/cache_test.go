@@ -9,7 +9,7 @@ import (
 
 func smallCache() *Cache {
 	// 4 KiB, 4-way, 64B lines -> 16 sets.
-	return NewCache(CacheConfig{Name: "t", SizeKB: 4, LineSize: 64, Ways: 4, Latency: 2})
+	return mustCache(CacheConfig{Name: "t", SizeKB: 4, LineSize: 64, Ways: 4, Latency: 2})
 }
 
 func TestCacheGeometry(t *testing.T) {
@@ -22,22 +22,21 @@ func TestCacheGeometry(t *testing.T) {
 	}
 }
 
-func TestCachePanicsOnBadGeometry(t *testing.T) {
+func TestCacheErrorsOnBadGeometry(t *testing.T) {
 	cases := []CacheConfig{
-		{SizeKB: 4, LineSize: 60, Ways: 4},  // non-power-of-two line
-		{SizeKB: 4, LineSize: 64, Ways: 0},  // zero ways
-		{SizeKB: 0, LineSize: 64, Ways: 4},  // zero size
-		{SizeKB: 3, LineSize: 64, Ways: 16}, // 3 sets: not power of two
+		{SizeKB: 4, LineSize: 60, Ways: 4},              // non-power-of-two line
+		{SizeKB: 4, LineSize: 64, Ways: 0},              // zero ways
+		{SizeKB: 0, LineSize: 64, Ways: 4},              // zero size
+		{SizeKB: 3, LineSize: 64, Ways: 16},             // 3 sets: not power of two
+		{SizeKB: 4, LineSize: 64, Ways: 4, Latency: -1}, // negative latency
 	}
 	for i, cfg := range cases {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("case %d: expected panic for %+v", i, cfg)
-				}
-			}()
-			NewCache(cfg)
-		}()
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, cfg)
+		}
+		if c, err := NewCache(cfg); err == nil || c != nil {
+			t.Errorf("case %d: expected error for %+v, got (%v, %v)", i, cfg, c, err)
+		}
 	}
 }
 
@@ -174,7 +173,7 @@ func TestCacheLineAddr(t *testing.T) {
 // Property: a filled line always hits immediately afterwards,
 // regardless of interleaved accesses to other sets.
 func TestCacheFillThenHitProperty(t *testing.T) {
-	c := NewCache(CacheConfig{Name: "p", SizeKB: 8, LineSize: 64, Ways: 2, Latency: 1})
+	c := mustCache(CacheConfig{Name: "p", SizeKB: 8, LineSize: 64, Ways: 2, Latency: 1})
 	s := rng.NewStream(123)
 	for i := 0; i < 5000; i++ {
 		addr := uint64(s.Intn(1 << 20))

@@ -1,0 +1,23 @@
+package mem
+
+// Test constructors for configurations the tests know to be valid.
+
+func mustCache(cfg CacheConfig) *Cache {
+	c, err := NewCache(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func mustTLB(cfg TLBConfig) *TLB {
+	t, err := NewTLB(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func mustHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return MustNewHierarchy(cfg)
+}

@@ -94,23 +94,53 @@ type Hierarchy struct {
 	Stats HierarchyStats
 }
 
-// NewHierarchy builds the hierarchy from cfg.
-func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
-	if cfg.MemLatency <= 0 {
-		panic("mem: MemLatency must be positive")
+// NewHierarchy builds the hierarchy from cfg. Invalid configuration
+// (see HierarchyConfig.Validate) is returned as an error, not
+// panicked, so bad CLI flags and sweep values surface cleanly.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.MSHRs <= 0 {
-		panic("mem: MSHRs must be positive")
+	l1i, err := NewCache(cfg.L1I)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := NewCache(cfg.L1D)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := NewCache(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	itlb, err := NewTLB(cfg.ITLB)
+	if err != nil {
+		return nil, err
+	}
+	dtlb, err := NewTLB(cfg.DTLB)
+	if err != nil {
+		return nil, err
 	}
 	h := &Hierarchy{
 		cfg:         cfg,
-		L1I:         NewCache(cfg.L1I),
-		L1D:         NewCache(cfg.L1D),
-		L2:          NewCache(cfg.L2),
-		ITLB:        NewTLB(cfg.ITLB),
-		DTLB:        NewTLB(cfg.DTLB),
+		L1I:         l1i,
+		L1D:         l1d,
+		L2:          l2,
+		ITLB:        itlb,
+		DTLB:        dtlb,
 		Bus:         Bus{Occupancy: cfg.BusOccupancy},
 		outstanding: make(map[uint64]uint64),
+	}
+	return h, nil
+}
+
+// MustNewHierarchy builds the hierarchy from a configuration known to
+// be valid (e.g. DefaultConfig), panicking otherwise. Intended for
+// tests and static configurations.
+func MustNewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return h
 }

@@ -18,7 +18,7 @@ func testConfig() HierarchyConfig {
 }
 
 func TestHierarchyL1Hit(t *testing.T) {
-	h := NewHierarchy(testConfig())
+	h := mustHierarchy(testConfig())
 	h.AccessData(0, 0x1000, false) // cold miss fills all levels
 	r := h.AccessData(1000, 0x1000, false)
 	if r.L1Miss || r.L2Miss {
@@ -30,7 +30,7 @@ func TestHierarchyL1Hit(t *testing.T) {
 }
 
 func TestHierarchyL2HitLatency(t *testing.T) {
-	h := NewHierarchy(testConfig())
+	h := mustHierarchy(testConfig())
 	h.AccessData(0, 0x1000, false)
 	// Evict from L1D only: walk conflicting L1 sets (L1D 4KiB/2-way/64B
 	// = 32 sets, stride 2048) but stay within L2 capacity.
@@ -47,7 +47,7 @@ func TestHierarchyL2HitLatency(t *testing.T) {
 
 func TestHierarchyMemoryMissLatency(t *testing.T) {
 	cfg := testConfig()
-	h := NewHierarchy(cfg)
+	h := mustHierarchy(cfg)
 	r := h.AccessData(0, 0x4000, false)
 	if !r.L1Miss || !r.L2Miss || r.Coalesced {
 		t.Fatalf("cold access classification: %+v", r)
@@ -60,7 +60,7 @@ func TestHierarchyMemoryMissLatency(t *testing.T) {
 }
 
 func TestHierarchyMSHRCoalescing(t *testing.T) {
-	h := NewHierarchy(testConfig())
+	h := mustHierarchy(testConfig())
 	r1 := h.AccessData(0, 0x8000, false)
 	r2 := h.AccessData(5, 0x8010, false) // same 64B line, still in flight
 	if !r2.L2Miss || !r2.Coalesced {
@@ -76,7 +76,7 @@ func TestHierarchyMSHRCoalescing(t *testing.T) {
 
 func TestHierarchyDistinctMissesSerializeOnBus(t *testing.T) {
 	cfg := testConfig()
-	h := NewHierarchy(cfg)
+	h := mustHierarchy(cfg)
 	r1 := h.AccessData(0, 0x10000, false)
 	r2 := h.AccessData(0, 0x20000, false)
 	if r2.DoneAt != r1.DoneAt+uint64(cfg.BusOccupancy) {
@@ -87,7 +87,7 @@ func TestHierarchyDistinctMissesSerializeOnBus(t *testing.T) {
 func TestHierarchyMSHRFullBackpressure(t *testing.T) {
 	cfg := testConfig()
 	cfg.MSHRs = 2
-	h := NewHierarchy(cfg)
+	h := mustHierarchy(cfg)
 	h.AccessData(0, 0x100000, false)
 	h.AccessData(0, 0x200000, false)
 	r3 := h.AccessData(0, 0x300000, false)
@@ -101,7 +101,7 @@ func TestHierarchyMSHRFullBackpressure(t *testing.T) {
 }
 
 func TestHierarchyAfterFillHits(t *testing.T) {
-	h := NewHierarchy(testConfig())
+	h := mustHierarchy(testConfig())
 	r := h.AccessData(0, 0x9000, false)
 	r2 := h.AccessData(r.DoneAt+1, 0x9000, false)
 	if r2.L1Miss {
@@ -110,7 +110,7 @@ func TestHierarchyAfterFillHits(t *testing.T) {
 }
 
 func TestHierarchyFetchPath(t *testing.T) {
-	h := NewHierarchy(testConfig())
+	h := mustHierarchy(testConfig())
 	r := h.AccessFetch(0, 0x400)
 	if !r.L1Miss || !r.L2Miss {
 		t.Fatalf("cold fetch should miss: %+v", r)
@@ -132,7 +132,7 @@ func TestHierarchyInclusionInvariant(t *testing.T) {
 	// L1 could hit on a line the L2 no longer tracks.
 	cfg := testConfig()
 	cfg.L2 = CacheConfig{Name: "L2", SizeKB: 8, LineSize: 64, Ways: 2, Latency: 12}
-	h := NewHierarchy(cfg)
+	h := mustHierarchy(cfg)
 	now := uint64(0)
 	// L2: 8KiB/2-way = 64 sets; conflict stride = 64*64 = 4096.
 	base := uint64(0x1000)
@@ -147,7 +147,7 @@ func TestHierarchyInclusionInvariant(t *testing.T) {
 }
 
 func TestTranslateDataWalk(t *testing.T) {
-	h := NewHierarchy(testConfig())
+	h := mustHierarchy(testConfig())
 	w := h.TranslateData(0, 0x5000)
 	if !w.Walked {
 		t.Fatal("cold TLB must walk")
@@ -168,7 +168,7 @@ func TestTranslateDataWalk(t *testing.T) {
 }
 
 func TestTranslateWalkHitsL2WhenCached(t *testing.T) {
-	h := NewHierarchy(testConfig())
+	h := mustHierarchy(testConfig())
 	w1 := h.TranslateData(0, 0xA000)
 	// Evict the translation from the small test TLB by touching many
 	// pages mapping to the same TLB set (16 entries/4-way = 4 sets).
@@ -187,7 +187,7 @@ func TestTranslateWalkHitsL2WhenCached(t *testing.T) {
 }
 
 func TestTranslateFetchUsesITLB(t *testing.T) {
-	h := NewHierarchy(testConfig())
+	h := mustHierarchy(testConfig())
 	h.TranslateFetch(0, 0x1000)
 	if h.ITLB.Stats.Accesses != 1 || h.DTLB.Stats.Accesses != 0 {
 		t.Fatal("fetch translation must use ITLB only")
@@ -195,7 +195,7 @@ func TestTranslateFetchUsesITLB(t *testing.T) {
 }
 
 func TestHierarchyResetAndResetStats(t *testing.T) {
-	h := NewHierarchy(testConfig())
+	h := mustHierarchy(testConfig())
 	h.AccessData(0, 0x7000, false)
 	h.TranslateData(0, 0x7000)
 	h.ResetStats()
@@ -211,27 +211,28 @@ func TestHierarchyResetAndResetStats(t *testing.T) {
 	}
 }
 
-func TestHierarchyPanicsOnBadConfig(t *testing.T) {
-	cfg := testConfig()
-	cfg.MemLatency = 0
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("expected panic for MemLatency=0")
-			}
-		}()
-		NewHierarchy(cfg)
-	}()
-	cfg = testConfig()
-	cfg.MSHRs = 0
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("expected panic for MSHRs=0")
-			}
-		}()
-		NewHierarchy(cfg)
-	}()
+func TestHierarchyErrorsOnBadConfig(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*HierarchyConfig)
+	}{
+		{"MemLatency=0", func(c *HierarchyConfig) { c.MemLatency = 0 }},
+		{"MSHRs=0", func(c *HierarchyConfig) { c.MSHRs = 0 }},
+		{"BusOccupancy<0", func(c *HierarchyConfig) { c.BusOccupancy = -1 }},
+		{"PrefetchDegree<0", func(c *HierarchyConfig) { c.PrefetchDegree = -1 }},
+		{"bad L1D", func(c *HierarchyConfig) { c.L1D.LineSize = 60 }},
+		{"bad DTLB", func(c *HierarchyConfig) { c.DTLB.Entries = 7 }},
+	}
+	for _, m := range mutations {
+		cfg := testConfig()
+		m.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted bad config", m.name)
+		}
+		if h, err := NewHierarchy(cfg); err == nil || h != nil {
+			t.Errorf("%s: expected error, got (%v, %v)", m.name, h, err)
+		}
+	}
 }
 
 func TestBusPipelining(t *testing.T) {
@@ -251,7 +252,7 @@ func TestBusPipelining(t *testing.T) {
 }
 
 func TestOutstandingFillsReaped(t *testing.T) {
-	h := NewHierarchy(testConfig())
+	h := mustHierarchy(testConfig())
 	h.AccessData(0, 0x30000, false)
 	if n := h.OutstandingFills(0); n != 1 {
 		t.Fatalf("outstanding = %d, want 1", n)
@@ -264,7 +265,7 @@ func TestOutstandingFillsReaped(t *testing.T) {
 // Monotonic-time property: results never complete before issue+L1
 // latency, and repeated random accesses keep classifications sane.
 func TestHierarchyTimingMonotonicProperty(t *testing.T) {
-	h := NewHierarchy(testConfig())
+	h := mustHierarchy(testConfig())
 	s := rng.NewStream(77)
 	now := uint64(0)
 	for i := 0; i < 20000; i++ {
@@ -282,7 +283,7 @@ func TestHierarchyTimingMonotonicProperty(t *testing.T) {
 
 func TestDefaultConfigGeometry(t *testing.T) {
 	cfg := DefaultConfig()
-	h := NewHierarchy(cfg) // must not panic
+	h := mustHierarchy(cfg) // must not panic
 	if h.L2.Config().Lines() != 32768 {
 		t.Fatalf("L2 lines = %d", h.L2.Config().Lines())
 	}
@@ -294,7 +295,7 @@ func TestDefaultConfigGeometry(t *testing.T) {
 func TestPrefetcherNextLine(t *testing.T) {
 	cfg := testConfig()
 	cfg.PrefetchDegree = 2
-	h := NewHierarchy(cfg)
+	h := mustHierarchy(cfg)
 	r1 := h.AccessData(0, 0x40000, false)
 	if !r1.L2Miss || r1.Coalesced {
 		t.Fatal("first access should demand-miss")
@@ -320,7 +321,7 @@ func TestPrefetcherNextLine(t *testing.T) {
 }
 
 func TestPrefetcherDisabledByDefault(t *testing.T) {
-	h := NewHierarchy(testConfig())
+	h := mustHierarchy(testConfig())
 	h.AccessData(0, 0x50000, false)
 	if h.Stats.Prefetches != 0 {
 		t.Fatal("prefetcher active with degree 0")
@@ -331,7 +332,7 @@ func TestPrefetcherRespectsMSHRBudget(t *testing.T) {
 	cfg := testConfig()
 	cfg.PrefetchDegree = 8
 	cfg.MSHRs = 3
-	h := NewHierarchy(cfg)
+	h := mustHierarchy(cfg)
 	h.AccessData(0, 0x60000, false)
 	// 1 demand + at most 2 prefetches fit the MSHRs.
 	if n := h.OutstandingFills(0); n > 3 {
@@ -346,7 +347,7 @@ func TestPrefetcherReducesStreamingMisses(t *testing.T) {
 	run := func(degree int) uint64 {
 		cfg := testConfig()
 		cfg.PrefetchDegree = degree
-		h := NewHierarchy(cfg)
+		h := mustHierarchy(cfg)
 		now := uint64(0)
 		// Stream sequentially through 4 MiB.
 		for a := uint64(1 << 20); a < (1<<20)+(4<<20); a += 64 {

@@ -13,7 +13,7 @@ func TestInclusionPropertyRandomized(t *testing.T) {
 	cfg := testConfig()
 	cfg.L2 = CacheConfig{Name: "L2", SizeKB: 16, LineSize: 64, Ways: 2, Latency: 12}
 	cfg.PrefetchDegree = 2
-	h := NewHierarchy(cfg)
+	h := mustHierarchy(cfg)
 	s := rng.NewStream(321)
 	now := uint64(0)
 	var sample []uint64
@@ -46,7 +46,7 @@ func TestInclusionPropertyRandomized(t *testing.T) {
 // exceed accesses, evictions never exceed fills (bounded by misses on
 // the demand path).
 func TestCacheStatsConsistency(t *testing.T) {
-	c := NewCache(CacheConfig{Name: "p", SizeKB: 8, LineSize: 64, Ways: 4, Latency: 1})
+	c := mustCache(CacheConfig{Name: "p", SizeKB: 8, LineSize: 64, Ways: 4, Latency: 1})
 	s := rng.NewStream(9)
 	for i := 0; i < 50000; i++ {
 		addr := uint64(s.Intn(1 << 18))
@@ -83,7 +83,7 @@ func TestAccessResultLatencyProperty(t *testing.T) {
 // Property: TLB fill-then-lookup always hits within one round of
 // unrelated traffic bounded by associativity.
 func TestTLBFillThenHitProperty(t *testing.T) {
-	tb := NewTLB(TLBConfig{Name: "p", Entries: 64, Ways: 4, PageSize: 4096})
+	tb := mustTLB(TLBConfig{Name: "p", Entries: 64, Ways: 4, PageSize: 4096})
 	s := rng.NewStream(5)
 	for i := 0; i < 20000; i++ {
 		addr := uint64(s.Intn(1 << 26))

@@ -40,19 +40,13 @@ type TLB struct {
 	Stats    TLBStats
 }
 
-// NewTLB builds a TLB. It panics on invalid geometry (configuration
-// error).
-func NewTLB(cfg TLBConfig) *TLB {
-	if cfg.PageSize <= 0 || cfg.PageSize&(cfg.PageSize-1) != 0 {
-		panic("mem: page size must be a positive power of two")
-	}
-	if cfg.Ways <= 0 || cfg.Entries <= 0 || cfg.Entries%cfg.Ways != 0 {
-		panic("mem: entries must be a positive multiple of ways")
+// NewTLB builds a TLB. Invalid geometry (see TLBConfig.Validate) is a
+// configuration error and is returned, not panicked.
+func NewTLB(cfg TLBConfig) (*TLB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	nSets := cfg.Entries / cfg.Ways
-	if nSets&(nSets-1) != 0 {
-		panic("mem: TLB set count must be a power of two")
-	}
 	sets := make([][]tlbEntry, nSets)
 	backing := make([]tlbEntry, nSets*cfg.Ways)
 	for i := range sets {
@@ -62,7 +56,7 @@ func NewTLB(cfg TLBConfig) *TLB {
 	for 1<<pageBits < cfg.PageSize {
 		pageBits++
 	}
-	return &TLB{cfg: cfg, sets: sets, setMask: uint64(nSets - 1), pageBits: pageBits}
+	return &TLB{cfg: cfg, sets: sets, setMask: uint64(nSets - 1), pageBits: pageBits}, nil
 }
 
 // Config returns the TLB geometry.

@@ -3,7 +3,7 @@ package mem
 import "testing"
 
 func smallTLB() *TLB {
-	return NewTLB(TLBConfig{Name: "t", Entries: 16, Ways: 4, PageSize: 4096})
+	return mustTLB(TLBConfig{Name: "t", Entries: 16, Ways: 4, PageSize: 4096})
 }
 
 func TestTLBMissThenHit(t *testing.T) {
@@ -80,7 +80,7 @@ func TestTLBVPN(t *testing.T) {
 	}
 }
 
-func TestTLBPanicsOnBadGeometry(t *testing.T) {
+func TestTLBErrorsOnBadGeometry(t *testing.T) {
 	cases := []TLBConfig{
 		{Entries: 16, Ways: 4, PageSize: 1000}, // non-pow2 page
 		{Entries: 15, Ways: 4, PageSize: 4096}, // entries % ways != 0
@@ -88,14 +88,12 @@ func TestTLBPanicsOnBadGeometry(t *testing.T) {
 		{Entries: 24, Ways: 4, PageSize: 4096}, // 6 sets: not pow2
 	}
 	for i, cfg := range cases {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("case %d: expected panic", i)
-				}
-			}()
-			NewTLB(cfg)
-		}()
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, cfg)
+		}
+		if tb, err := NewTLB(cfg); err == nil || tb != nil {
+			t.Errorf("case %d: expected error, got (%v, %v)", i, tb, err)
+		}
 	}
 }
 

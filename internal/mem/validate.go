@@ -1,0 +1,100 @@
+package mem
+
+import "fmt"
+
+// ConfigError reports an invalid memory-hierarchy configuration value.
+// All Validate methods in this package return *ConfigError so callers
+// can distinguish configuration mistakes from runtime failures.
+type ConfigError struct {
+	Component string // "cache L1D", "TLB dtlb", "hierarchy", ...
+	Field     string
+	Reason    string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("mem: invalid %s config: %s: %s", e.Component, e.Field, e.Reason)
+}
+
+func powerOfTwo(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// Validate reports whether the cache geometry is constructible: a
+// positive power-of-two line size, positive size and associativity, a
+// capacity that divides evenly into sets, and a power-of-two set count
+// (required by the index mask).
+func (c CacheConfig) Validate() error {
+	comp := "cache"
+	if c.Name != "" {
+		comp = "cache " + c.Name
+	}
+	if !powerOfTwo(c.LineSize) {
+		return &ConfigError{comp, "LineSize", "must be a positive power of two"}
+	}
+	if c.SizeKB <= 0 {
+		return &ConfigError{comp, "SizeKB", "must be positive"}
+	}
+	if c.Ways <= 0 {
+		return &ConfigError{comp, "Ways", "must be positive"}
+	}
+	if c.Latency < 0 {
+		return &ConfigError{comp, "Latency", "must be non-negative"}
+	}
+	if c.SizeKB*1024%c.LineSize != 0 {
+		return &ConfigError{comp, "SizeKB", "capacity must be a multiple of LineSize"}
+	}
+	if c.Lines()%c.Ways != 0 {
+		return &ConfigError{comp, "Ways", "must divide the line count evenly"}
+	}
+	if !powerOfTwo(c.Sets()) {
+		return &ConfigError{comp, "Sets", "set count must be a positive power of two"}
+	}
+	return nil
+}
+
+// Validate reports whether the TLB geometry is constructible: a
+// positive power-of-two page size, entries a positive multiple of the
+// associativity, and a power-of-two set count.
+func (c TLBConfig) Validate() error {
+	comp := "TLB"
+	if c.Name != "" {
+		comp = "TLB " + c.Name
+	}
+	if !powerOfTwo(c.PageSize) {
+		return &ConfigError{comp, "PageSize", "must be a positive power of two"}
+	}
+	if c.Ways <= 0 {
+		return &ConfigError{comp, "Ways", "must be positive"}
+	}
+	if c.Entries <= 0 || c.Entries%c.Ways != 0 {
+		return &ConfigError{comp, "Entries", "must be a positive multiple of Ways"}
+	}
+	if !powerOfTwo(c.Entries / c.Ways) {
+		return &ConfigError{comp, "Sets", "set count must be a positive power of two"}
+	}
+	return nil
+}
+
+// Validate checks the full hierarchy configuration, aggregating the
+// per-structure geometry checks with the hierarchy-level parameters.
+func (c HierarchyConfig) Validate() error {
+	for _, sub := range []error{
+		c.L1I.Validate(), c.L1D.Validate(), c.L2.Validate(),
+		c.ITLB.Validate(), c.DTLB.Validate(),
+	} {
+		if sub != nil {
+			return sub
+		}
+	}
+	if c.MemLatency <= 0 {
+		return &ConfigError{"hierarchy", "MemLatency", "must be positive"}
+	}
+	if c.MSHRs <= 0 {
+		return &ConfigError{"hierarchy", "MSHRs", "must be positive"}
+	}
+	if c.BusOccupancy < 0 {
+		return &ConfigError{"hierarchy", "BusOccupancy", "must be non-negative"}
+	}
+	if c.PrefetchDegree < 0 {
+		return &ConfigError{"hierarchy", "PrefetchDegree", "must be non-negative"}
+	}
+	return nil
+}

@@ -159,10 +159,11 @@ type Pipeline struct {
 	Metrics Metrics
 }
 
-// New builds a pipeline. It panics on invalid configuration.
-func New(cfg Config, hier *mem.Hierarchy, bu *branch.Unit) *Pipeline {
+// New builds a pipeline. Invalid configuration is returned as an
+// error, not panicked.
+func New(cfg Config, hier *mem.Hierarchy, bu *branch.Unit) (*Pipeline, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	return &Pipeline{
 		cfg:    cfg,
@@ -171,7 +172,7 @@ func New(cfg Config, hier *mem.Hierarchy, bu *branch.Unit) *Pipeline {
 		rob:    make([]robEntry, cfg.ROBSize),
 		rs:     make([]rsEntry, cfg.RSSize),
 		fetchQ: make([]fetchedUop, cfg.FetchQSize),
-	}
+	}, nil
 }
 
 // Config returns the pipeline configuration.

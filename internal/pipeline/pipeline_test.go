@@ -12,10 +12,14 @@ import (
 // testMachine builds a pipeline with a small memory hierarchy.
 func testMachine() *Pipeline {
 	hcfg := mem.DefaultConfig()
-	h := mem.NewHierarchy(hcfg)
+	h := mem.MustNewHierarchy(hcfg)
 	cfg := DefaultConfig()
 	bu := branch.NewUnit(cfg.BranchEntries, cfg.BTBEntries, cfg.RASDepth, cfg.HistoryBits)
-	return New(cfg, h, bu)
+	p, err := New(cfg, h, bu)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
 // aluProfile is pure single-cycle ALU work with high ILP: the machine
@@ -369,14 +373,9 @@ func TestConfigValidate(t *testing.T) {
 	if err := bad.Validate(); err == nil {
 		t.Fatal("expected error for negative penalty")
 	}
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("New must panic on invalid config")
-			}
-		}()
-		New(bad, nil, nil)
-	}()
+	if p, err := New(bad, nil, nil); err == nil || p != nil {
+		t.Fatalf("New must reject invalid config, got (%v, %v)", p, err)
+	}
 }
 
 func TestROBNeverExceedsCapacity(t *testing.T) {

@@ -6,7 +6,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"soemt/internal/branch"
 	"soemt/internal/core"
@@ -63,10 +65,15 @@ type ThreadSpec struct {
 }
 
 // Spec describes a complete simulation run.
+//
+// Watchdog is execution policy, not simulation input: it bounds how
+// long the run may take but never changes a produced result, so it is
+// excluded from FingerprintJSON and cache keys.
 type Spec struct {
-	Machine MachineConfig
-	Threads []ThreadSpec
-	Scale   Scale
+	Machine  MachineConfig
+	Threads  []ThreadSpec
+	Scale    Scale
+	Watchdog Watchdog
 }
 
 // ThreadResult is the per-thread outcome of a run.
@@ -96,6 +103,10 @@ type Result struct {
 	Truncated bool
 }
 
+// testHookPostBuild, when non-nil, runs after the machine is built and
+// before measurement — a test seam for the panic-recovery boundary.
+var testHookPostBuild func()
+
 // ForcedPer1k returns forced (non-miss) switches per 1000 cycles, the
 // right axis of the paper's Figure 7.
 func (r *Result) ForcedPer1k() float64 {
@@ -105,31 +116,67 @@ func (r *Result) ForcedPer1k() float64 {
 	return float64(r.Switches.Forced()) / float64(r.WallCycles) * 1000
 }
 
-// Run executes the full protocol for spec.
+// Run executes the full protocol for spec without external
+// cancellation; see RunContext.
 func Run(spec Spec) (*Result, error) {
-	if len(spec.Threads) == 0 {
-		return nil, fmt.Errorf("sim: no threads")
-	}
-	if spec.Scale.Measure == 0 {
-		return nil, fmt.Errorf("sim: zero measurement target")
-	}
-	if err := spec.Machine.Pipeline.Validate(); err != nil {
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext executes the full protocol for spec, honoring ctx
+// cancellation, the spec's wall-clock deadline, and its
+// forward-progress stall detector between execution slices.
+//
+// Robustness contract: the spec is validated before any machine state
+// is built (bad configurations return errors, they never panic), and
+// an internal invariant panic in the pipeline, memory system or
+// controller is recovered into a *PanicError carrying the spec
+// fingerprint — a failing run in a large matrix diagnoses itself
+// instead of killing the process.
+func RunContext(ctx context.Context, spec Spec) (res *Result, err error) {
+	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	for i, ts := range spec.Threads {
-		if err := ts.Profile.Validate(); err != nil {
-			return nil, fmt.Errorf("sim: thread %d: %w", i, err)
+	fp := spec.fingerprintLabel()
+	defer func() {
+		if rec := recover(); rec != nil {
+			res, err = nil, recoverToError(fp, rec)
 		}
+	}()
+
+	stallWindow := spec.Watchdog.StallCycles
+	if stallWindow == 0 {
+		stallWindow = DefaultStallCycles
+	}
+	var deadline time.Time
+	if spec.Watchdog.Timeout > 0 {
+		deadline = time.Now().Add(spec.Watchdog.Timeout)
+	}
+	// checkAborts reports cancellation or deadline expiry; cheap enough
+	// to call once per execution slice.
+	checkAborts := func(phase string, cycle uint64) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("sim: %s cancelled at cycle %d [spec %s]: %w", phase, cycle, fp, cerr)
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return &DeadlineError{Phase: phase, Cycle: cycle, Timeout: spec.Watchdog.Timeout, Fingerprint: fp}
+		}
+		return nil
 	}
 
-	hier := mem.NewHierarchy(spec.Machine.Memory)
+	hier, err := mem.NewHierarchy(spec.Machine.Memory)
+	if err != nil {
+		return nil, err
+	}
 	bu := branch.NewUnit(
 		spec.Machine.Pipeline.BranchEntries,
 		spec.Machine.Pipeline.BTBEntries,
 		spec.Machine.Pipeline.RASDepth,
 		spec.Machine.Pipeline.HistoryBits,
 	)
-	pipe := pipeline.New(spec.Machine.Pipeline, hier, bu)
+	pipe, err := pipeline.New(spec.Machine.Pipeline, hier, bu)
+	if err != nil {
+		return nil, err
+	}
 
 	threads := make([]*core.Thread, len(spec.Threads))
 	gens := make([]*workload.Generator, len(spec.Threads))
@@ -144,23 +191,57 @@ func Run(spec Spec) (*Result, error) {
 
 	// Functional cache warmup (paper: 10M instructions per thread).
 	for i, ts := range spec.Threads {
-		warmCaches(hier, gens[i], ts.StartSeq, spec.Scale.CacheWarm)
+		if err := warmCaches(hier, gens[i], ts.StartSeq, spec.Scale.CacheWarm, func() error {
+			return checkAborts("cache warmup", 0)
+		}); err != nil {
+			return nil, err
+		}
 	}
 	hier.ResetTiming()
 	hier.ResetStats()
 
-	ctl := core.NewController(pipe, spec.Machine.Controller, threads)
+	ctl, err := core.NewController(pipe, spec.Machine.Controller, threads)
+	if err != nil {
+		return nil, err
+	}
+	if testHookPostBuild != nil {
+		testHookPostBuild()
+	}
+
+	// runPhase advances toward target in slices, checking cancellation,
+	// the wall-clock deadline, and forward progress between slices.
+	runPhase := func(phase string, target uint64) (uint64, error) {
+		start := ctl.Now()
+		lastRetired := ctl.TotalRetired()
+		lastProgress := start
+		for !ctl.Advance(target, spec.Scale.MaxCycles, start, sliceCycles) {
+			if err := checkAborts(phase, ctl.Now()); err != nil {
+				return ctl.Now() - start, err
+			}
+			if r := ctl.TotalRetired(); r != lastRetired {
+				lastRetired, lastProgress = r, ctl.Now()
+			} else if stallWindow != StallOff && ctl.Now()-lastProgress >= stallWindow {
+				return ctl.Now() - start, &StallError{
+					Phase: phase, Cycle: ctl.Now(), Window: stallWindow, Fingerprint: fp,
+				}
+			}
+		}
+		return ctl.Now() - start, nil
+	}
 
 	// Timing warmup: run, then discard statistics (paper: first 1M
 	// instructions excluded; also warms the fairness-mechanism state).
-	if spec.Scale.Warm > 0 {
-		ctl.Run(spec.Scale.Warm, spec.Scale.MaxCycles)
-		ctl.ResetStats()
+	if _, err := runPhase("warmup", spec.Scale.Warm); err != nil {
+		return nil, err
+	}
+	ctl.ResetStats()
+
+	cycles, err := runPhase("measure", spec.Scale.Measure)
+	if err != nil {
+		return nil, err
 	}
 
-	cycles := ctl.Run(spec.Scale.Measure, spec.Scale.MaxCycles)
-
-	res := &Result{
+	res = &Result{
 		WallCycles: cycles,
 		Switches:   ctl.Switches(),
 		Samples:    ctl.Samples(),
@@ -205,7 +286,12 @@ func RunSingle(machine MachineConfig, ts ThreadSpec, scale Scale) (*Result, erro
 //     contents.
 //
 // Accesses are spaced far apart so no two overlap in the MSHRs.
-func warmCaches(h *mem.Hierarchy, g *workload.Generator, seq, n uint64) {
+//
+// abort is polled periodically (the paper-scale warmup is 10M
+// instructions per thread) so cancellation and deadlines take effect
+// during warmup too; a non-nil abort error stops the warmup and is
+// returned unchanged.
+func warmCaches(h *mem.Hierarchy, g *workload.Generator, seq, n uint64, abort func() error) error {
 	now := uint64(0)
 	touch := func(addr uint64, fetch bool) {
 		if fetch {
@@ -236,6 +322,11 @@ func warmCaches(h *mem.Hierarchy, g *workload.Generator, seq, n uint64) {
 	}
 
 	for i := seq; i < seq+n; i++ {
+		if (i-seq)%65536 == 0 {
+			if err := abort(); err != nil {
+				return err
+			}
+		}
 		u := g.At(i)
 		if u.Seq%16 == 0 {
 			touch(u.PC, true)
@@ -246,4 +337,5 @@ func warmCaches(h *mem.Hierarchy, g *workload.Generator, seq, n uint64) {
 			now += 1000
 		}
 	}
+	return nil
 }

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime/debug"
+	"time"
+)
+
+// Watchdog bounds a run's execution so pathological specs fail with a
+// diagnostic error instead of spinning forever. It deliberately lives
+// on Spec but OUTSIDE the fingerprint (see FingerprintJSON): aborted
+// runs return errors, never results, so any result that is produced —
+// and therefore cached — is independent of the watchdog settings.
+type Watchdog struct {
+	// Timeout is a wall-clock deadline for the whole run, including
+	// cache and timing warmup. 0 means no deadline.
+	Timeout time.Duration
+
+	// StallCycles is the number of simulated cycles the machine may
+	// advance without a single instruction retiring before the run is
+	// declared stalled (cycles ticking, no forward progress — e.g. a
+	// never-resolving injected stall). 0 selects DefaultStallCycles;
+	// StallOff disables detection. Checked between execution slices,
+	// so detection granularity is sliceCycles.
+	StallCycles uint64
+}
+
+// DefaultStallCycles is the forward-progress window used when
+// Watchdog.StallCycles is zero. 50M cycles (12.5ms of simulated time
+// at 4GHz) without one retirement is far beyond any legitimate stall
+// in this machine — the longest natural one is a chain of MSHR-full
+// memory misses, three orders of magnitude shorter.
+const DefaultStallCycles = 50_000_000
+
+// StallOff disables forward-progress detection.
+const StallOff = math.MaxUint64
+
+// sliceCycles is the execution-slice length between cancellation,
+// deadline and stall checks in RunContext.
+const sliceCycles = 1 << 16
+
+// ErrStalled is matched (via errors.Is) by stall-watchdog failures.
+var ErrStalled = errors.New("sim: forward-progress stall")
+
+// ErrDeadline is matched (via errors.Is) by wall-clock watchdog
+// failures.
+var ErrDeadline = errors.New("sim: watchdog deadline exceeded")
+
+// StallError reports that simulated cycles advanced for Window cycles
+// without any thread retiring an instruction.
+type StallError struct {
+	Phase       string // "warmup" or "measure"
+	Cycle       uint64 // machine cycle at detection
+	Window      uint64 // configured stall window
+	Fingerprint string // short spec fingerprint
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("sim: %s stalled: no instruction retired for %d cycles (detected at cycle %d) [spec %s]",
+		e.Phase, e.Window, e.Cycle, e.Fingerprint)
+}
+
+// Is makes errors.Is(err, ErrStalled) true for stall failures.
+func (e *StallError) Is(target error) bool { return target == ErrStalled }
+
+// DeadlineError reports that a run exceeded its wall-clock budget.
+type DeadlineError struct {
+	Phase       string
+	Cycle       uint64
+	Timeout     time.Duration
+	Fingerprint string
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("sim: %s exceeded wall-clock timeout %v at cycle %d [spec %s]",
+		e.Phase, e.Timeout, e.Cycle, e.Fingerprint)
+}
+
+// Is makes errors.Is(err, ErrDeadline) true for deadline failures.
+func (e *DeadlineError) Is(target error) bool { return target == ErrDeadline }
+
+// PanicError wraps an internal invariant panic (pipeline, memory,
+// core) recovered by the sim.Run boundary, so direct callers — the
+// experiment Runner, the examples, library users — get an error
+// carrying the spec fingerprint instead of a dead process.
+type PanicError struct {
+	Fingerprint string
+	Value       interface{}
+	Stack       []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sim: internal panic: %v [spec %s]", e.Value, e.Fingerprint)
+}
+
+// recoverToError converts a recovered panic value into a *PanicError.
+func recoverToError(fp string, rec interface{}) error {
+	return &PanicError{Fingerprint: fp, Value: rec, Stack: debug.Stack()}
+}

@@ -28,6 +28,8 @@
 package soemt
 
 import (
+	"context"
+
 	"soemt/internal/core"
 	"soemt/internal/model"
 	"soemt/internal/sim"
@@ -48,6 +50,8 @@ type (
 	Result = sim.Result
 	// ThreadResult is the per-thread outcome.
 	ThreadResult = sim.ThreadResult
+	// Watchdog bounds a run's wall-clock time and forward progress.
+	Watchdog = sim.Watchdog
 )
 
 // Workloads.
@@ -93,6 +97,11 @@ func QuickScale() Scale { return sim.QuickScale() }
 
 // Run executes a simulation (warmup, measurement, result assembly).
 func Run(spec Spec) (*Result, error) { return sim.Run(spec) }
+
+// RunContext executes a simulation honoring ctx cancellation and the
+// spec's watchdog (wall-clock deadline, forward-progress stall
+// detection).
+func RunContext(ctx context.Context, spec Spec) (*Result, error) { return sim.RunContext(ctx, spec) }
 
 // RunSingle runs one thread alone (the paper's IPC_ST reference runs).
 func RunSingle(machine MachineConfig, ts ThreadSpec, scale Scale) (*Result, error) {
