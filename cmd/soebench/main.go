@@ -1,0 +1,96 @@
+// soebench runs the standing benchmark suite under both execution
+// engines (idle fast-forward and the cycle-by-cycle reference), writes
+// a BENCH_<n>.json report, and optionally gates on a committed
+// baseline: the fast-forward speedup ratio per scenario must not
+// regress by more than -tolerance.
+//
+//	soebench -scale quick -out .                        # measure, write BENCH_<n>.json
+//	soebench -scale tiny -baseline bench/baseline.json  # CI smoke gate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"soemt/internal/cli"
+	"soemt/internal/perf"
+	"soemt/internal/sim"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "quick", "protocol scale: tiny, quick, paper")
+		outDir    = flag.String("out", ".", "directory for the numbered BENCH_<n>.json report")
+		outFile   = flag.String("o", "", "exact report path (overrides -out numbering)")
+		baseline  = flag.String("baseline", "", "baseline report to gate against (empty = no gate)")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional speedup regression vs baseline")
+		minFF     = flag.Float64("min-speedup", 0, "fail unless some scenario's fast-forward speedup reaches this")
+	)
+	flag.Parse()
+
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	ctx, cancel := cli.SignalContext()
+	defer cancel()
+
+	report := perf.NewReport(*scaleName)
+	suite := perf.DefaultSuite(scale)
+	if err := perf.RunSuite(ctx, report, suite, func(line string) {
+		fmt.Fprintln(os.Stderr, line)
+	}); err != nil {
+		fatal(err)
+	}
+
+	path := *outFile
+	if path != "" {
+		err = report.WriteFile(path)
+	} else {
+		path, err = report.WriteNumbered(*outDir)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(path)
+
+	if *minFF > 0 {
+		best := 0.0
+		for _, s := range report.Speedups {
+			if s > best {
+				best = s
+			}
+		}
+		if best < *minFF {
+			fatal(fmt.Errorf("best fast-forward speedup %.2fx below required %.2fx", best, *minFF))
+		}
+	}
+	if *baseline != "" {
+		base, err := perf.Load(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		if err := perf.Compare(report, base, *tolerance); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "baseline gate passed (tolerance %.0f%%)\n", *tolerance*100)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "soebench:", err)
+	os.Exit(1)
+}
+
+func parseScale(s string) (sim.Scale, error) {
+	switch s {
+	case "tiny":
+		return sim.Scale{CacheWarm: 50_000, Warm: 50_000, Measure: 250_000, MaxCycles: 50_000_000}, nil
+	case "quick":
+		return sim.QuickScale(), nil
+	case "paper":
+		return sim.PaperScale(), nil
+	}
+	return sim.Scale{}, fmt.Errorf("unknown scale %q", s)
+}

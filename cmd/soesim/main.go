@@ -19,11 +19,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"soemt/internal/cli"
 	"soemt/internal/core"
 	"soemt/internal/experiments"
+	"soemt/internal/perf"
 	"soemt/internal/pipeline"
 	"soemt/internal/sim"
 	"soemt/internal/stats"
@@ -51,6 +53,9 @@ func main() {
 		metricsOut = flag.Bool("metrics", false, "print run/cache metrics to stderr on exit")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget per simulation, e.g. 90s (0 = unlimited); an exceeded run fails with a deadline error")
 		stallCap   = flag.Uint64("stall-cycles", 0, "abort a run making no forward progress for this many cycles (0 = default watchdog)")
+		cycleRef   = flag.Bool("cycle-by-cycle", false, "disable the idle fast-forward and execute every cycle (reference engine)")
+		pprofOut   = flag.String("pprof", "", "write a CPU profile of the simulation to this file")
+		benchDir   = flag.String("bench-json", "", "record run wall-time, cycles/sec and allocations to BENCH_<n>.json in this directory (bypass -cache-dir when benchmarking)")
 	)
 	flag.Parse()
 
@@ -111,8 +116,54 @@ func main() {
 	}
 	watchdog := sim.Watchdog{Timeout: *timeout, StallCycles: *stallCap}
 
-	res, err := cache.RunSpecContext(ctx, sim.Spec{Machine: machine, Threads: specs, Scale: scale, Watchdog: watchdog})
-	if err != nil {
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	spec := sim.Spec{
+		Machine: machine, Threads: specs, Scale: scale,
+		Watchdog: watchdog, CycleByCycle: *cycleRef,
+	}
+	var res *sim.Result
+	run := func() (uint64, uint64, error) {
+		r, err := cache.RunSpecContext(ctx, spec)
+		if err != nil {
+			return 0, 0, err
+		}
+		res = r
+		var instrs uint64
+		for _, th := range r.Threads {
+			instrs += th.Counters.Instrs
+		}
+		return r.WallCycles, instrs, nil
+	}
+	if *benchDir != "" {
+		engine := "fast-forward"
+		if *cycleRef {
+			engine = "cycle-by-cycle"
+		}
+		report := perf.NewReport(*scaleArg)
+		entry, err := perf.Measure(*threadsArg, engine, run)
+		if err != nil {
+			exitErr(err)
+		}
+		report.Add(entry)
+		path, err := report.WriteNumbered(*benchDir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "soesim: wrote %s (%.3fs, %.0f cycles/s)\n", path, entry.Seconds, entry.CyclesPerSec)
+	} else if _, _, err := run(); err != nil {
 		exitErr(err)
 	}
 	if res.Truncated {

@@ -162,15 +162,16 @@ type Controller struct {
 	cfg     Config
 	threads []*Thread
 
-	now        uint64
-	resetAt    uint64 // cycle of the last stats reset
-	sampleAt   uint64 // cycle of the last Δ sample (or stats reset)
-	truncated  bool   // the last Run hit its maxCycles cap
-	cur        int
-	switches   SwitchStats
-	samples    []Sample
-	missLatSum float64
-	missLatN   uint64
+	now         uint64
+	resetAt     uint64 // cycle of the last stats reset
+	sampleAt    uint64 // cycle of the last Δ sample (or stats reset)
+	truncated   bool   // the last Run hit its maxCycles cap
+	cur         int
+	switches    SwitchStats
+	samples     []Sample
+	missLatSum  float64
+	missLatN    uint64
+	fastForward bool // Advance may skip provably idle cycle stretches
 }
 
 // NewController builds a controller over pipe and thread contexts.
@@ -221,6 +222,20 @@ func (c *Controller) Truncated() bool { return c.truncated }
 
 // Current returns the index of the running thread.
 func (c *Controller) Current() int { return c.cur }
+
+// SetFastForward enables (or disables) the idle-cycle fast-forward
+// path in Advance: stretches where the pipeline provably cannot make
+// progress (IdleScan) are jumped in bulk instead of stepped cycle by
+// cycle. Results are bit-identical either way — the jump is clipped to
+// every boundary a real Step reacts to (Δ-sample edges, the max-cycles
+// quota edge, the head-miss switch trigger, slice budgets and the
+// MaxCycles cap) and the per-cycle counter updates are applied in bulk
+// (see skipIdle). Off by default; sim.RunContext turns it on unless
+// Spec.CycleByCycle asks for the reference engine.
+func (c *Controller) SetFastForward(on bool) { c.fastForward = on }
+
+// FastForward reports whether the idle fast-forward path is enabled.
+func (c *Controller) FastForward() bool { return c.fastForward }
 
 // MeasuredMissLat returns the mean observed head-stall latency, or the
 // configured constant when measurement is off or empty.
@@ -278,7 +293,7 @@ func (c *Controller) Run(target uint64, maxCycles uint64) uint64 {
 // over Advance with a small budget (see sim.RunContext); Run is the
 // uninterruptible wrapper.
 func (c *Controller) Advance(target, maxCycles, start, budget uint64) bool {
-	for spent := uint64(0); ; spent++ {
+	for spent := uint64(0); ; {
 		done := true
 		for _, t := range c.threads {
 			if t.retired < target {
@@ -296,8 +311,114 @@ func (c *Controller) Advance(target, maxCycles, start, budget uint64) bool {
 		if spent >= budget {
 			return false
 		}
+		if c.fastForward {
+			// Clip the jump to the slice budget and the MaxCycles cap so
+			// slice boundaries and truncation points match the
+			// cycle-by-cycle engine exactly.
+			limit := c.now + (budget - spent)
+			if maxCycles > 0 {
+				if cap := start + maxCycles; cap < limit {
+					limit = cap
+				}
+			}
+			if n := c.skipIdle(limit); n > 0 {
+				spent += n
+				continue
+			}
+		}
 		c.Step()
+		spent++
 	}
+}
+
+// skipIdle fast-forwards across a stretch of cycles in which the
+// machine provably makes no progress, advancing now to the next-event
+// horizon (clipped to limit and to every controller boundary a real
+// Step reacts to) and applying the per-cycle accounting in bulk. It
+// returns the number of cycles skipped; 0 means the coming cycle may
+// do real work (or trigger a sample or switch) and the caller must
+// Step normally.
+
+func (c *Controller) skipIdle(limit uint64) uint64 {
+	cur := c.threads[c.cur]
+	multi := len(c.threads) > 1
+
+	// A Step at now itself would sample or force a switch: no skip.
+	if c.cfg.Delta > 0 && c.now > c.resetAt && (c.now-c.resetAt)%c.cfg.Delta == 0 {
+		return 0
+	}
+	if multi && cur.quota > 0 && cur.deficit <= 0 && cur.firstRetireSeen {
+		return 0
+	}
+	if multi && c.cfg.MaxCyclesQuota > 0 &&
+		c.now >= cur.switchInAt && c.now-cur.switchInAt >= c.cfg.MaxCyclesQuota {
+		return 0
+	}
+
+	end, rep, idle := c.pipe.IdleScan(c.now)
+	if !idle {
+		return 0
+	}
+	if limit < end {
+		end = limit
+	}
+	if c.cfg.Delta > 0 {
+		// Stop at the next Δ boundary so the Step there samples.
+		if next := c.now + (c.cfg.Delta - (c.now-c.resetAt)%c.cfg.Delta); next < end {
+			end = next
+		}
+	}
+	if multi && c.cfg.MaxCyclesQuota > 0 {
+		// Stop at the max-cycles quota edge so the Step there switches.
+		if edge := cur.switchInAt + c.cfg.MaxCyclesQuota; edge < end {
+			end = edge
+		}
+	}
+
+	// Replicate the controller's per-cycle reaction to the repeated
+	// head-pending report retire() would emit during the window.
+	if rep.Miss || rep.L1 {
+		until := rep.Until
+		if until > end {
+			until = end
+		}
+		if rep.From < until {
+			if multi && (rep.Miss || (rep.L1 && c.cfg.SwitchOnL1Miss)) {
+				// The first report forces a thread switch: stop the skip
+				// there and let the real Step count it and switch.
+				if rep.From <= c.now {
+					return 0
+				}
+				end = rep.From
+			} else if rep.Miss {
+				// Single-thread run: the report repeats every cycle but
+				// only the first sighting of a given architectural miss
+				// counts (the lastMissSeq dedup in Step).
+				if !cur.hasLastMiss || cur.lastMissSeq != rep.Seq {
+					cur.hasLastMiss = true
+					cur.lastMissSeq = rep.Seq
+					if !c.cfg.CountAllMisses {
+						cur.counters.Totals.Misses++
+					}
+					if c.cfg.MeasureMissLat && rep.ResolveAt > rep.From {
+						c.missLatSum += float64(rep.ResolveAt - rep.From)
+						c.missLatN++
+					}
+				}
+			}
+		}
+	}
+
+	if end <= c.now+1 {
+		return 0
+	}
+	n := end - c.now
+	c.pipe.AdvanceIdle(c.now, n)
+	if cur.firstRetireSeen {
+		cur.counters.Totals.Cycles += n
+	}
+	c.now = end
+	return n
 }
 
 // TotalRetired sums instructions retired across all threads since the
@@ -443,7 +564,9 @@ func (c *Controller) sample() {
 			}
 			ts.IPM, ts.CPM = t.smIPM, t.smCPM
 		}
-		ts.EstST = ts.IPM / (ts.CPM + missLat)
+		if den := ts.CPM + missLat; den > 0 {
+			ts.EstST = ts.IPM / den
+		}
 		samples[i] = ts
 		rec.Threads[i] = SampleThread{
 			EstIPCST:  ts.EstST,

@@ -1,0 +1,203 @@
+// Package perf is the simulator's benchmark harness: it times
+// simulation runs under both execution engines (idle fast-forward and
+// the cycle-by-cycle reference), records wall time, simulated
+// cycles/sec, retired instructions/sec and allocation deltas, and
+// writes the results to numbered BENCH_<n>.json files so the perf
+// trajectory of the simulator is measured rather than guessed.
+//
+// Regression checking deliberately compares the fast-forward speedup
+// ratio (fast-forward vs reference on the same host, same binary, same
+// instant) rather than absolute cycles/sec: the ratio cancels host
+// speed, so a committed baseline stays meaningful on any CI runner.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Entry is one timed simulation run.
+type Entry struct {
+	Scenario string  `json:"scenario"`
+	Engine   string  `json:"engine"` // "fast-forward" or "cycle-by-cycle"
+	Seconds  float64 `json:"seconds"`
+
+	SimCycles    uint64  `json:"sim_cycles"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	Instrs       uint64  `json:"instrs"`
+	InstrsPerSec float64 `json:"instrs_per_sec"`
+
+	AllocBytes   uint64 `json:"alloc_bytes"`
+	AllocObjects uint64 `json:"alloc_objects"`
+}
+
+// Report is the content of one BENCH_<n>.json.
+type Report struct {
+	CreatedAt string  `json:"created_at"`
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	Scale     string  `json:"scale"`
+	Entries   []Entry `json:"entries"`
+
+	// Speedups maps scenario name to the fast-forward wall-clock
+	// speedup over the cycle-by-cycle reference (ref seconds / ff
+	// seconds). Present only for scenarios run under both engines.
+	Speedups map[string]float64 `json:"speedups,omitempty"`
+}
+
+// NewReport stamps a report with build metadata.
+func NewReport(scale string) *Report {
+	return &Report{
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Scale:     scale,
+		Speedups:  map[string]float64{},
+	}
+}
+
+// Measure times fn and fills a raw Entry. fn returns the simulated
+// cycle and instruction counts of the run it performed. Allocation
+// deltas come from runtime.MemStats and include everything fn did.
+func Measure(scenario, engine string, fn func() (cycles, instrs uint64, err error)) (Entry, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	cycles, instrs, err := fn()
+	secs := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return Entry{}, fmt.Errorf("perf: %s/%s: %w", scenario, engine, err)
+	}
+	e := Entry{
+		Scenario:     scenario,
+		Engine:       engine,
+		Seconds:      secs,
+		SimCycles:    cycles,
+		Instrs:       instrs,
+		AllocBytes:   after.TotalAlloc - before.TotalAlloc,
+		AllocObjects: after.Mallocs - before.Mallocs,
+	}
+	if secs > 0 {
+		e.CyclesPerSec = float64(cycles) / secs
+		e.InstrsPerSec = float64(instrs) / secs
+	}
+	return e, nil
+}
+
+// Add appends an entry and refreshes the scenario's speedup if both
+// engines are now present.
+func (r *Report) Add(e Entry) {
+	r.Entries = append(r.Entries, e)
+	var ff, ref *Entry
+	for i := range r.Entries {
+		en := &r.Entries[i]
+		if en.Scenario != e.Scenario {
+			continue
+		}
+		switch en.Engine {
+		case "fast-forward":
+			ff = en
+		case "cycle-by-cycle":
+			ref = en
+		}
+	}
+	if ff != nil && ref != nil && ff.Seconds > 0 {
+		if r.Speedups == nil {
+			r.Speedups = map[string]float64{}
+		}
+		r.Speedups[e.Scenario] = ref.Seconds / ff.Seconds
+	}
+}
+
+// WriteNumbered writes the report to the first free BENCH_<n>.json in
+// dir (starting at 1) and returns the path.
+func (r *Report) WriteNumbered(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	for n := 1; ; n++ {
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(path); err == nil {
+			continue
+		}
+		return path, r.WriteFile(path)
+	}
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Load reads a report back.
+func Load(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Compare checks current against a committed baseline and returns an
+// error describing every scenario whose fast-forward speedup regressed
+// by more than tolerance (e.g. 0.20 = 20%). Scenarios present in only
+// one report are ignored (suites may grow), but an empty intersection
+// is an error — it means the comparison checked nothing.
+func Compare(current, baseline *Report, tolerance float64) error {
+	var problems []string
+	checked := 0
+	names := make([]string, 0, len(baseline.Speedups))
+	for name := range baseline.Speedups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline.Speedups[name]
+		cur, ok := current.Speedups[name]
+		if !ok || base <= 0 {
+			continue
+		}
+		checked++
+		if cur < base*(1-tolerance) {
+			problems = append(problems, fmt.Sprintf(
+				"%s: fast-forward speedup %.2fx, baseline %.2fx (allowed floor %.2fx)",
+				name, cur, base, base*(1-tolerance)))
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("perf: no common scenarios between current report and baseline")
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("perf: speedup regression beyond %.0f%%:\n  %s",
+			tolerance*100, joinLines(problems))
+	}
+	return nil
+}
+
+func joinLines(xs []string) string {
+	s := ""
+	for i, x := range xs {
+		if i > 0 {
+			s += "\n  "
+		}
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,86 @@
+package perf
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func addRun(t *testing.T, r *Report, scenario, engine string, secs float64) {
+	t.Helper()
+	r.Add(Entry{Scenario: scenario, Engine: engine, Seconds: secs, SimCycles: 1000})
+}
+
+func TestSpeedupDerivation(t *testing.T) {
+	r := NewReport("tiny")
+	addRun(t, r, "pair", "cycle-by-cycle", 3.0)
+	if len(r.Speedups) != 0 {
+		t.Fatalf("speedup derived from a single engine: %v", r.Speedups)
+	}
+	addRun(t, r, "pair", "fast-forward", 1.0)
+	if got := r.Speedups["pair"]; got != 3.0 {
+		t.Fatalf("speedup = %v, want 3.0", got)
+	}
+}
+
+func TestWriteNumberedAndLoadRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "bench") // exercise MkdirAll
+	r := NewReport("tiny")
+	addRun(t, r, "pair", "cycle-by-cycle", 2.0)
+	addRun(t, r, "pair", "fast-forward", 1.0)
+
+	p1, err := r.WriteNumbered(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p1) != "BENCH_1.json" {
+		t.Fatalf("first report at %s, want BENCH_1.json", p1)
+	}
+	p2, err := r.WriteNumbered(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p2) != "BENCH_2.json" {
+		t.Fatalf("second report at %s, want BENCH_2.json", p2)
+	}
+
+	back, err := Load(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != 2 || back.Scale != "tiny" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if got := back.Speedups["pair"]; got != 2.0 {
+		t.Fatalf("round-tripped speedup = %v, want 2.0", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := NewReport("tiny")
+	addRun(t, base, "pair", "cycle-by-cycle", 4.0)
+	addRun(t, base, "pair", "fast-forward", 1.0) // 4.0x baseline
+
+	ok := NewReport("tiny")
+	addRun(t, ok, "pair", "cycle-by-cycle", 3.5)
+	addRun(t, ok, "pair", "fast-forward", 1.0) // 3.5x: within 20%
+	if err := Compare(ok, base, 0.20); err != nil {
+		t.Fatalf("within-tolerance report rejected: %v", err)
+	}
+
+	bad := NewReport("tiny")
+	addRun(t, bad, "pair", "cycle-by-cycle", 2.0)
+	addRun(t, bad, "pair", "fast-forward", 1.0) // 2.0x: regressed
+	err := Compare(bad, base, 0.20)
+	if err == nil || !strings.Contains(err.Error(), "pair") {
+		t.Fatalf("regression not reported: %v", err)
+	}
+
+	// A disjoint suite must not silently pass.
+	other := NewReport("tiny")
+	addRun(t, other, "elsewhere", "cycle-by-cycle", 1.0)
+	addRun(t, other, "elsewhere", "fast-forward", 1.0)
+	if err := Compare(other, base, 0.20); err == nil {
+		t.Fatal("empty scenario intersection passed the gate")
+	}
+}

@@ -12,7 +12,7 @@ import (
 // robEntry is one re-order buffer slot.
 type robEntry struct {
 	uop       isa.Uop
-	id        uint64 // monotonic ROB id; slot = id % ROBSize
+	id        uint64 // monotonic ROB id; slot = id & robMask
 	done      bool
 	issued    bool
 	doneAt    uint64
@@ -114,10 +114,14 @@ type Pipeline struct {
 	tid    int
 	stream *workload.Stream
 
-	// ROB ring buffer.
-	rob    []robEntry
-	headID uint64
-	nextID uint64
+	// ROB ring buffer. The backing array is sized to the next power of
+	// two above ROBSize so the per-lookup ring index is a mask, not a
+	// division; capacity checks still use cfg.ROBSize, and live ids
+	// always span < ROBSize entries, so the wider ring never aliases.
+	rob     []robEntry
+	robMask uint64
+	headID  uint64
+	nextID  uint64
 
 	// Reservation stations and load-buffer occupancy.
 	rs      []rsEntry
@@ -142,8 +146,26 @@ type Pipeline struct {
 	// Execution ports.
 	portBusy [isa.NumPorts]uint64
 
-	// Store buffer (survives squash).
+	// issueWakeAt caches the earliest cycle any waiting reservation
+	// station could possibly issue, so the oldest-first selection scan
+	// is skipped while provably fruitless. 0 means unknown (must scan).
+	// Set by every scan; maintained (min-updated) across rename inserts
+	// and cleared on squash. Retirement never needs to clear it: a
+	// producer must already satisfy doneAt <= now to retire, so
+	// retiring cannot make a consumer ready earlier than its cached
+	// wake time.
+	issueWakeAt uint64
+
+	// issueCands is per-cycle scratch for the issue stage's single-pass
+	// candidate collection (indices into rs).
+	issueCands []int
+
+	// Store buffer (survives squash). Live entries are
+	// storeBuf[sbHead:]; dispatch advances sbHead in O(1) and the dead
+	// prefix is compacted away periodically, so store-heavy workloads
+	// do not pay a per-dispatch O(n) drain.
 	storeBuf []storeBufEntry
+	sbHead   int
 
 	// Architectural position: seq of the next micro-op to retire.
 	nextArchSeq uint64
@@ -165,13 +187,19 @@ func New(cfg Config, hier *mem.Hierarchy, bu *branch.Unit) (*Pipeline, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	robLen := 1
+	for robLen < cfg.ROBSize {
+		robLen <<= 1
+	}
 	return &Pipeline{
-		cfg:    cfg,
-		hier:   hier,
-		bu:     bu,
-		rob:    make([]robEntry, cfg.ROBSize),
-		rs:     make([]rsEntry, cfg.RSSize),
-		fetchQ: make([]fetchedUop, cfg.FetchQSize),
+		cfg:        cfg,
+		hier:       hier,
+		bu:         bu,
+		rob:        make([]robEntry, robLen),
+		robMask:    uint64(robLen - 1),
+		rs:         make([]rsEntry, cfg.RSSize),
+		fetchQ:     make([]fetchedUop, cfg.FetchQSize),
+		issueCands: make([]int, 0, cfg.RSSize),
 	}, nil
 }
 
@@ -247,6 +275,7 @@ func (p *Pipeline) Squash() uint64 {
 		p.rs[i] = rsEntry{}
 	}
 	p.rsCount = 0
+	p.issueWakeAt = 0
 	p.lbCount = 0
 	p.fqHead = 0
 	p.fqCount = 0
@@ -270,13 +299,13 @@ func (p *Pipeline) Drained() bool {
 func (p *Pipeline) ROBOccupancy() int { return int(p.nextID - p.headID) }
 
 // StoreBufLen returns the store-buffer occupancy.
-func (p *Pipeline) StoreBufLen() int { return len(p.storeBuf) }
+func (p *Pipeline) StoreBufLen() int { return len(p.storeBuf) - p.sbHead }
 
 // ResetMetrics clears the metric counters.
 func (p *Pipeline) ResetMetrics() { p.Metrics = Metrics{} }
 
 func (p *Pipeline) entry(id uint64) *robEntry {
-	return &p.rob[id%uint64(len(p.rob))]
+	return &p.rob[id&p.robMask]
 }
 
 // producerDone reports whether the producer with ROB id has produced
@@ -332,7 +361,7 @@ func (p *Pipeline) retire(now uint64, res *CycleResult) {
 			return
 		}
 		if e.uop.Kind == isa.Store {
-			if len(p.storeBuf) >= p.cfg.StoreBufSize {
+			if p.StoreBufLen() >= p.cfg.StoreBufSize {
 				return // store buffer full: retirement blocks
 			}
 			p.storeBuf = append(p.storeBuf, storeBufEntry{addr: e.uop.Addr, tid: p.tid})
@@ -359,50 +388,179 @@ func (p *Pipeline) retire(now uint64, res *CycleResult) {
 
 // dispatchStores sends one retired store per cycle to the data cache.
 func (p *Pipeline) dispatchStores(now uint64) {
-	if len(p.storeBuf) == 0 {
+	if p.sbHead == len(p.storeBuf) {
 		return
 	}
-	sb := p.storeBuf[0]
+	sb := p.storeBuf[p.sbHead]
 	p.hier.AccessData(now, sb.addr, true)
-	copy(p.storeBuf, p.storeBuf[1:])
-	p.storeBuf = p.storeBuf[:len(p.storeBuf)-1]
+	p.sbHead++
+	// Reclaim the dead prefix: free immediately when drained, compact
+	// once the prefix dominates the backing array. Amortized O(1).
+	if p.sbHead == len(p.storeBuf) {
+		p.storeBuf = p.storeBuf[:0]
+		p.sbHead = 0
+	} else if p.sbHead >= 64 && p.sbHead*2 >= len(p.storeBuf) {
+		n := copy(p.storeBuf, p.storeBuf[p.sbHead:])
+		p.storeBuf = p.storeBuf[:n]
+		p.sbHead = 0
+	}
 }
 
 // issue selects ready reservation-station entries, oldest first, and
 // begins execution on free ports.
 func (p *Pipeline) issue(now uint64) {
-	// Oldest-first: scan by seqNum. RS is small (tens of entries), so a
-	// simple selection scan per issue slot is fine.
-	for issued := 0; issued < len(p.rs); issued++ {
+	if p.rsCount == 0 {
+		return
+	}
+	if p.issueWakeAt > now {
+		// No waiting entry can have become ready: producers complete on
+		// fixed doneAt schedules and ports free on fixed busy-until
+		// schedules, both accounted for in the cached wake time.
+		return
+	}
+	// Single cheap pass: collect the candidates — entries whose operand
+	// producers are done and whose port group has a free port now. The
+	// readiness checks short-circuit on the first unmet condition, so a
+	// waiting-heavy RS costs one producer lookup per entry, not a full
+	// wake-bound computation. Producer completion times cannot change
+	// within the cycle (an op issued now finishes strictly later), so
+	// candidacy computed here stays valid across picks — only port
+	// availability must be re-checked as picks occupy ports. A
+	// port-blocked entry cannot join later in the cycle either: port
+	// busy-until times only grow within a cycle.
+	cands := p.issueCands[:0]
+	for i := range p.rs {
+		e := &p.rs[i]
+		if !e.valid {
+			continue
+		}
+		if e.has1 && !p.producerDone(e.src1, now) {
+			continue
+		}
+		if e.has2 && !p.producerDone(e.src2, now) {
+			continue
+		}
+		if !p.portFree(p.entry(e.robID).uop.Kind, now) {
+			continue
+		}
+		cands = append(cands, i)
+	}
+	if len(cands) == 0 {
+		// Unproductive scan: pay the full wake-bound pass once and cache
+		// the result, so the cycles until then skip the scan entirely.
+		p.issueWakeAt = p.issueHorizon()
+		return
+	}
+	// Oldest-first picks, exactly as a per-slot selection scan would
+	// make them: the oldest candidate with a free port goes first; a
+	// port-blocked older candidate yields to a younger one whose port
+	// is free. RS is small (tens of entries), so repeated selection
+	// over the candidate list is fine.
+	for len(cands) > 0 {
 		best := -1
 		var bestSeq uint64
-		for i := range p.rs {
-			e := &p.rs[i]
-			if !e.valid {
-				continue
-			}
+		for ci, idx := range cands {
+			e := &p.rs[idx]
 			if best != -1 && e.seqNum >= bestSeq {
-				continue
-			}
-			if e.has1 && !p.producerDone(e.src1, now) {
-				continue
-			}
-			if e.has2 && !p.producerDone(e.src2, now) {
 				continue
 			}
 			if !p.portFree(p.entry(e.robID).uop.Kind, now) {
 				continue
 			}
-			best, bestSeq = i, e.seqNum
+			best, bestSeq = ci, e.seqNum
 		}
 		if best == -1 {
-			return
+			break
 		}
-		e := &p.rs[best]
+		e := &p.rs[cands[best]]
 		p.execute(now, p.entry(e.robID))
 		*e = rsEntry{}
 		p.rsCount--
+		cands = append(cands[:best], cands[best+1:]...)
+		if p.rsCount == 0 {
+			return
+		}
 	}
+	// Productive cycle with leftovers: leave the wake cache where it is
+	// (<= now, since we got past the bail above). The next cycle's scan
+	// is cheap, and if it proves unproductive it installs a fresh bound
+	// computed from the post-issue port schedule then.
+}
+
+// issueHorizon returns the earliest cycle at which any waiting
+// reservation-station entry could issue: every operand producer done
+// and an execution port free. Entries whose producers have not
+// themselves issued yet have no bound of their own, but they cannot
+// overtake the returned horizon either — their producer chain bottoms
+// out in an entry whose bound IS included, and a dependent can only
+// issue strictly after its producer. Returns 0 (scan every cycle) in
+// the defensive case where no entry has a computable bound.
+func (p *Pipeline) issueHorizon() uint64 {
+	var horizon uint64
+	found := false
+	for i := range p.rs {
+		e := &p.rs[i]
+		if !e.valid {
+			continue
+		}
+		at, ok := p.entryWakeAt(e)
+		if ok && (!found || at < horizon) {
+			// A bound of 0 ("ready since cycle 0") is a real value, not
+			// the unset sentinel — track foundness separately or a later
+			// entry's larger bound would overwrite it.
+			horizon, found = at, true
+		}
+	}
+	return horizon
+}
+
+// entryWakeAt returns the earliest cycle e could issue, or ok=false
+// when that is not yet computable (an operand producer has not issued,
+// so its completion time is unknown).
+func (p *Pipeline) entryWakeAt(e *rsEntry) (at uint64, ok bool) {
+	if e.has1 {
+		t, known := p.producerReadyAt(e.src1)
+		if !known {
+			return 0, false
+		}
+		if t > at {
+			at = t
+		}
+	}
+	if e.has2 {
+		t, known := p.producerReadyAt(e.src2)
+		if !known {
+			return 0, false
+		}
+		if t > at {
+			at = t
+		}
+	}
+	if ports := isa.PortsFor(p.entry(e.robID).uop.Kind); len(ports) > 0 {
+		free := p.portBusy[ports[0]]
+		for _, port := range ports[1:] {
+			if p.portBusy[port] < free {
+				free = p.portBusy[port]
+			}
+		}
+		if free > at {
+			at = free
+		}
+	}
+	return at, true
+}
+
+// producerReadyAt returns the cycle from which producerDone(id, t)
+// holds, or known=false if the producer has not issued yet.
+func (p *Pipeline) producerReadyAt(id uint64) (at uint64, known bool) {
+	if id < p.headID {
+		return 0, true // retired
+	}
+	e := p.entry(id)
+	if !e.done {
+		return 0, false
+	}
+	return e.doneAt, true
 }
 
 func (p *Pipeline) portFree(kind isa.Kind, now uint64) bool {
@@ -493,12 +651,30 @@ func (p *Pipeline) execute(now uint64, e *robEntry) {
 // forwardable reports whether a load can forward from the store
 // buffer.
 func (p *Pipeline) forwardable(addr uint64) bool {
-	for _, sb := range p.storeBuf {
+	for _, sb := range p.storeBuf[p.sbHead:] {
 		if sb.tid == p.tid && sb.addr == addr {
 			return true
 		}
 	}
 	return false
+}
+
+// needsRS reports whether kind occupies a reservation station (NOP and
+// PAUSE complete at rename).
+func needsRS(kind isa.Kind) bool { return kind != isa.Nop && kind != isa.Pause }
+
+// renameBlocked reports whether a micro-op of the given kind cannot
+// rename because a backend resource (ROB, RS, load buffer) is full.
+// Each cycle this holds for the fetch-queue head with its group decoded
+// (readyAt reached) costs one RenameStalls tick.
+func (p *Pipeline) renameBlocked(kind isa.Kind) bool {
+	if int(p.nextID-p.headID) >= p.cfg.ROBSize {
+		return true
+	}
+	if needsRS(kind) && p.rsCount >= p.cfg.RSSize {
+		return true
+	}
+	return kind == isa.Load && p.lbCount >= p.cfg.LoadBufSize
 }
 
 // rename moves micro-ops from the fetch queue into the ROB/RS.
@@ -511,19 +687,11 @@ func (p *Pipeline) rename(now uint64) {
 		if f.readyAt > now {
 			return
 		}
-		if int(p.nextID-p.headID) >= p.cfg.ROBSize {
+		if p.renameBlocked(f.uop.Kind) {
 			p.Metrics.RenameStalls++
 			return
 		}
-		needRS := f.uop.Kind != isa.Nop && f.uop.Kind != isa.Pause
-		if needRS && p.rsCount >= p.cfg.RSSize {
-			p.Metrics.RenameStalls++
-			return
-		}
-		if f.uop.Kind == isa.Load && p.lbCount >= p.cfg.LoadBufSize {
-			p.Metrics.RenameStalls++
-			return
-		}
+		needRS := needsRS(f.uop.Kind)
 
 		id := p.nextID
 		p.nextID++
@@ -553,6 +721,19 @@ func (p *Pipeline) rename(now uint64) {
 				}
 			}
 			p.rsCount++
+			if p.issueWakeAt != 0 {
+				// The cached wake bound survives the insert. If the new
+				// entry's bound is computable it joins the min; if one of
+				// its producers has not issued yet, that producer is
+				// itself still in the RS and already covered by the
+				// cache, and a dependent can only become ready at its
+				// producer's doneAt, after the producer issues — so it
+				// cannot undercut the cached bound either. A resulting
+				// bound of 0 falls back to scan-every-cycle mode.
+				if at, ok := p.entryWakeAt(&rse); ok && at < p.issueWakeAt {
+					p.issueWakeAt = at
+				}
+			}
 			if f.uop.Kind == isa.Load {
 				p.lbCount++
 			}
@@ -634,5 +815,5 @@ func (p *Pipeline) push(f fetchedUop) {
 func (p *Pipeline) String() string {
 	return fmt.Sprintf("pipeline{tid=%d rob=%d/%d rs=%d/%d lb=%d sb=%d fq=%d arch=%d}",
 		p.tid, p.ROBOccupancy(), p.cfg.ROBSize, p.rsCount, p.cfg.RSSize,
-		p.lbCount, len(p.storeBuf), p.fqCount, p.nextArchSeq)
+		p.lbCount, p.StoreBufLen(), p.fqCount, p.nextArchSeq)
 }

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"soemt/internal/core"
+	"soemt/internal/workload"
+)
+
+// TestDegenerateSpecsNeverProduceNaN pins the division guards: a
+// degenerate run must either fail validation or produce a Result whose
+// every float is finite. NaN/Inf would poison the CSV exporter and —
+// because encoding/json refuses NaN — fail the persistent result
+// cache's marshal, so finiteness is asserted both directly and via
+// json.Marshal.
+func TestDegenerateSpecsNeverProduceNaN(t *testing.T) {
+	m := DefaultMachine()
+	m.Controller.MissLat = 0 // extreme but legal: Eq. 13 denominator loses its constant
+
+	t.Run("zero-measure-rejected", func(t *testing.T) {
+		spec := Spec{
+			Machine: m,
+			Threads: []ThreadSpec{{Profile: workload.MustByName("gcc"), Slot: 0}},
+			Scale:   Scale{Measure: 0},
+		}
+		if _, err := Run(spec); err == nil {
+			t.Fatal("zero measurement target must fail validation")
+		}
+	})
+
+	t.Run("immediate-truncation-finite", func(t *testing.T) {
+		spec := Spec{
+			Machine: m,
+			Threads: []ThreadSpec{
+				{Profile: workload.MustByName("swim"), Slot: 0},
+				{Profile: workload.MustByName("mcf"), Slot: 1},
+			},
+			// MaxCycles 1 truncates both phases before anything retires:
+			// 0 instructions, 0 running cycles, 0 misses, 0 visits.
+			Scale: Scale{CacheWarm: 1000, Warm: 1000, Measure: 1000, MaxCycles: 1},
+		}
+		spec.Machine.Controller.Policy = core.Fairness{F: 1}
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Truncated {
+			t.Fatal("expected a truncated run")
+		}
+		assertFinite(t, "IPCTotal", res.IPCTotal)
+		assertFinite(t, "ForcedPer1k", res.ForcedPer1k())
+		for _, th := range res.Threads {
+			assertFinite(t, th.Name+".IPC", th.IPC)
+			assertFinite(t, th.Name+".EstIPCST", th.EstIPCST)
+			assertFinite(t, th.Name+".IPM", th.IPM)
+			assertFinite(t, th.Name+".CPM", th.CPM)
+			assertFinite(t, th.Name+".AvgVisit", th.AvgVisit)
+		}
+		if _, err := json.Marshal(res); err != nil {
+			t.Fatalf("result not cacheable: %v", err)
+		}
+	})
+}
+
+func assertFinite(t *testing.T, what string, v float64) {
+	t.Helper()
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("%s = %v, must be finite", what, v)
+	}
+}

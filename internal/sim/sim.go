@@ -66,14 +66,22 @@ type ThreadSpec struct {
 
 // Spec describes a complete simulation run.
 //
-// Watchdog is execution policy, not simulation input: it bounds how
-// long the run may take but never changes a produced result, so it is
-// excluded from FingerprintJSON and cache keys.
+// Watchdog and CycleByCycle are execution policy, not simulation
+// input: they bound or slow the run but never change a produced
+// result, so both are excluded from FingerprintJSON and cache keys.
 type Spec struct {
 	Machine  MachineConfig
 	Threads  []ThreadSpec
 	Scale    Scale
 	Watchdog Watchdog
+
+	// CycleByCycle selects the reference engine that executes every
+	// simulated cycle individually, disabling the idle-cycle
+	// fast-forward path (DESIGN.md §9). Both engines produce
+	// bit-identical Results — verified by the equivalence matrix in
+	// fastforward_test.go — so this exists for verification and for
+	// benchmarking the fast-forward speedup itself.
+	CycleByCycle bool
 }
 
 // ThreadResult is the per-thread outcome of a run.
@@ -204,6 +212,7 @@ func RunContext(ctx context.Context, spec Spec) (res *Result, err error) {
 	if err != nil {
 		return nil, err
 	}
+	ctl.SetFastForward(!spec.CycleByCycle)
 	if testHookPostBuild != nil {
 		testHookPostBuild()
 	}
@@ -250,10 +259,18 @@ func RunContext(ctx context.Context, spec Spec) (res *Result, err error) {
 	missLat := spec.Machine.Controller.MissLat
 	for _, th := range ctl.Threads() {
 		cnt := th.Counters()
+		var ipc float64
+		if cycles > 0 {
+			// Guarded: a measured phase can complete in 0 cycles (e.g.
+			// Measure at or below the warmup target), and NaN would
+			// poison the CSV exporter and fail json.Marshal in the
+			// persistent result cache.
+			ipc = float64(cnt.Instrs) / float64(cycles)
+		}
 		tr := ThreadResult{
 			Name:     th.Name,
 			Counters: cnt,
-			IPC:      float64(cnt.Instrs) / float64(cycles),
+			IPC:      ipc,
 			EstIPCST: cnt.EstIPCST(missLat),
 			IPM:      cnt.IPM(),
 			CPM:      cnt.CPM(),

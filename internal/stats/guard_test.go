@@ -1,0 +1,33 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEstIPCSTGuarded pins the Eq. 13 division guard: with zero
+// counters and a zero assumed miss latency the denominator vanishes,
+// and the estimate must degrade to 0 rather than NaN.
+func TestEstIPCSTGuarded(t *testing.T) {
+	var c Counters
+	if got := c.EstIPCST(0); got != 0 {
+		t.Fatalf("EstIPCST(0) on zero counters = %v, want 0", got)
+	}
+	if got := c.EstIPCST(300); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("EstIPCST(300) on zero counters = %v, must be finite", got)
+	}
+	// Sanity: a normal counter block is unaffected by the guard.
+	c = Counters{Instrs: 6000, Cycles: 2400, Misses: 10}
+	want := c.IPM() / (c.CPM() + 300)
+	if got := c.EstIPCST(300); got != want {
+		t.Fatalf("EstIPCST changed on healthy counters: got %v want %v", got, want)
+	}
+}
+
+// TestIPCGuarded covers the realized-IPC zero-cycle guard.
+func TestIPCGuarded(t *testing.T) {
+	var c Counters
+	if got := c.IPC(); got != 0 {
+		t.Fatalf("IPC on zero counters = %v, want 0", got)
+	}
+}

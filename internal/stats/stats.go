@@ -163,9 +163,14 @@ func (c Counters) IPC() float64 {
 }
 
 // EstIPCST estimates the thread's single-thread IPC (Eq. 13):
-// IPM / (CPM + missLat).
+// IPM / (CPM + missLat). A non-positive denominator (a thread that
+// never ran, with missLat 0) yields 0, never NaN/Inf.
 func (c Counters) EstIPCST(missLat float64) float64 {
-	return c.IPM() / (c.CPM() + missLat)
+	den := c.CPM() + missLat
+	if den <= 0 {
+		return 0
+	}
+	return c.IPM() / den
 }
 
 func (c Counters) String() string {
