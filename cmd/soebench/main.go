@@ -26,6 +26,8 @@ func main() {
 		baseline  = flag.String("baseline", "", "baseline report to gate against (empty = no gate)")
 		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional speedup regression vs baseline")
 		minFF     = flag.Float64("min-speedup", 0, "fail unless some scenario's fast-forward speedup reaches this")
+		obsRounds = flag.Int("obs-rounds", 3, "best-of rounds for the observability overhead measurement (0 = skip)")
+		maxObs    = flag.Float64("max-obs-overhead", 0, "fail if the obs-on/obs-off wall-time ratio exceeds this (0 = no gate)")
 	)
 	flag.Parse()
 
@@ -42,6 +44,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, line)
 	}); err != nil {
 		fatal(err)
+	}
+	var obsRatio float64
+	if *obsRounds > 0 {
+		obsRatio, err = perf.MeasureObsOverhead(ctx, report, scale, *obsRounds, func(line string) {
+			fmt.Fprintln(os.Stderr, line)
+		})
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	path := *outFile
@@ -65,6 +76,9 @@ func main() {
 		if best < *minFF {
 			fatal(fmt.Errorf("best fast-forward speedup %.2fx below required %.2fx", best, *minFF))
 		}
+	}
+	if *maxObs > 0 && obsRatio > *maxObs {
+		fatal(fmt.Errorf("observability overhead ratio %.3f exceeds allowed %.3f", obsRatio, *maxObs))
 	}
 	if *baseline != "" {
 		base, err := perf.Load(*baseline)

@@ -35,6 +35,7 @@ func main() {
 		metrics = flag.Bool("metrics", false, "print run/cache metrics to stderr on exit")
 		workers = flag.Int("workers", 0, "concurrent simulations for matrix experiments (0 = GOMAXPROCS)")
 		timeout = flag.Duration("timeout", 0, "wall-clock budget per simulation, e.g. 90s (0 = unlimited); an exceeded run fails with a deadline error")
+		beat    = flag.Duration("heartbeat", 0, "print a metrics heartbeat line to stderr at this interval during long runs, e.g. 30s (0 = off)")
 	)
 	flag.Parse()
 
@@ -77,6 +78,10 @@ func main() {
 	// -cache-dir resumes from them. A second signal kills immediately.
 	ctx, stop := cli.SignalContext()
 	defer stop()
+	stopBeat := cli.StartHeartbeat(ctx, "soefig", *beat, func() string {
+		return r.Metrics().String()
+	})
+	defer stopBeat()
 	cli.NoteResume("soefig", r.Cache())
 	defer func() { cli.ClearInterrupted("soefig", r.Cache()) }() // skipped by os.Exit on failure paths
 	exitErr := func(err error) {

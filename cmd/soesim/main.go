@@ -13,6 +13,9 @@
 //	soesim -trace t1.lit,t2.lit -F 0.25          # run from trace files
 //	soesim -threads gcc,eon -F 1 -ref -json      # machine-readable output
 //	soesim -threads gcc,eon -l1-switch -prefetch 4   # §6/ablation features
+//	soesim -threads gcc,eon -trace-events t.json -obs-metrics
+//	                                             # cycle-level event trace
+//	                                             # (chrome://tracing) + registry dump
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"soemt/internal/cli"
 	"soemt/internal/core"
 	"soemt/internal/experiments"
+	"soemt/internal/obs"
 	"soemt/internal/perf"
 	"soemt/internal/pipeline"
 	"soemt/internal/sim"
@@ -56,6 +60,9 @@ func main() {
 		cycleRef   = flag.Bool("cycle-by-cycle", false, "disable the idle fast-forward and execute every cycle (reference engine)")
 		pprofOut   = flag.String("pprof", "", "write a CPU profile of the simulation to this file")
 		benchDir   = flag.String("bench-json", "", "record run wall-time, cycles/sec and allocations to BENCH_<n>.json in this directory (bypass -cache-dir when benchmarking)")
+		traceOut   = flag.String("trace-events", "", "write a Chrome trace_event JSON of the run to this file (open in chrome://tracing or Perfetto); forces a fresh simulation, bypassing the result cache")
+		traceCSV   = flag.String("trace-csv", "", "write the raw controller event stream as CSV to this file; forces a fresh simulation, bypassing the result cache")
+		obsMetrics = flag.Bool("obs-metrics", false, "dump the observability metrics registry (switch causes, skip cycles, pipeline and cache counters) to stderr on exit")
 	)
 	flag.Parse()
 
@@ -98,6 +105,20 @@ func main() {
 	if *metricsOut {
 		defer func() { fmt.Fprintf(os.Stderr, "soesim: metrics: %s\n", cache.Metrics()) }()
 	}
+	if *obsMetrics {
+		defer func() {
+			fmt.Fprintln(os.Stderr, "soesim: observability registry:")
+			cache.Observability().WriteTo(os.Stderr)
+		}()
+	}
+
+	// A live tracer requires an actual simulation: cache hits skip the
+	// run and record nothing, so tracing runs go straight to the engine.
+	tracing := *traceOut != "" || *traceCSV != ""
+	var tracer *obs.Tracer
+	if tracing {
+		tracer = obs.NewTracer(0)
+	}
 
 	// SIGINT/SIGTERM cancel the run between execution slices; finished
 	// simulations stay in the cache, and the cache dir is marked so a
@@ -134,9 +155,18 @@ func main() {
 		Machine: machine, Threads: specs, Scale: scale,
 		Watchdog: watchdog, CycleByCycle: *cycleRef,
 	}
+	if tracing {
+		spec.Obs = &obs.Observer{Trace: tracer, Metrics: cache.Observability()}
+	}
 	var res *sim.Result
 	run := func() (uint64, uint64, error) {
-		r, err := cache.RunSpecContext(ctx, spec)
+		var r *sim.Result
+		var err error
+		if tracing {
+			r, err = sim.RunContext(ctx, spec)
+		} else {
+			r, err = cache.RunSpecContext(ctx, spec)
+		}
 		if err != nil {
 			return 0, 0, err
 		}
@@ -169,6 +199,11 @@ func main() {
 	if res.Truncated {
 		fmt.Fprintf(os.Stderr, "soesim: WARNING: run truncated at MaxCycles=%d before reaching Measure=%d; IPC is approximate\n",
 			scale.MaxCycles, scale.Measure)
+	}
+	if tracing {
+		if err := writeTraces(tracer, specs, *traceOut, *traceCSV); err != nil {
+			fatal(err)
+		}
 	}
 
 	refIPC := func() (ipcST, speedups []float64) {
@@ -291,6 +326,51 @@ func buildThreads(threadsArg, traceArg string) ([]sim.ThreadSpec, error) {
 		}
 	}
 	return specs, nil
+}
+
+// writeTraces exports the recorded event stream. The ring buffer keeps
+// the most recent events; if earlier ones were evicted the export is a
+// suffix of the run and says so on stderr.
+func writeTraces(tracer *obs.Tracer, specs []sim.ThreadSpec, jsonPath, csvPath string) error {
+	if d := tracer.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "soesim: trace ring dropped %d oldest events (capacity %d); exporting the most recent window\n",
+			d, tracer.Len())
+	}
+	events := tracer.Events()
+	names := make([]string, len(specs))
+	for i, ts := range specs {
+		names[i] = ts.Profile.Name
+	}
+	write := func(path string, enc func(*os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := enc(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "soesim: wrote %d events to %s\n", len(events), path)
+		return nil
+	}
+	if jsonPath != "" {
+		if err := write(jsonPath, func(f *os.File) error {
+			return obs.WriteChromeTrace(f, events, names)
+		}); err != nil {
+			return err
+		}
+	}
+	if csvPath != "" {
+		if err := write(csvPath, func(f *os.File) error {
+			return obs.WriteCSV(f, events)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -47,6 +47,7 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "persistent result cache directory (content-addressed; see DESIGN.md)")
 		metrics  = flag.Bool("metrics", false, "print run/cache metrics to stderr on exit")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget per simulation, e.g. 90s (0 = unlimited); an exceeded run fails with a deadline error")
+		beat     = flag.Duration("heartbeat", 0, "print a metrics heartbeat line to stderr at this interval during long runs, e.g. 30s (0 = off)")
 	)
 	flag.Parse()
 
@@ -67,6 +68,10 @@ func main() {
 	// with -cache-dir a rerun resumes from the finished points.
 	ctx, stop := cli.SignalContext()
 	defer stop()
+	stopBeat := cli.StartHeartbeat(ctx, "soesweep", *beat, func() string {
+		return cache.Metrics().String()
+	})
+	defer stopBeat()
 	cli.NoteResume("soesweep", cache)
 	wd := sim.Watchdog{Timeout: *timeout}
 

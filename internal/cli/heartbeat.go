@@ -1,0 +1,49 @@
+package cli
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+)
+
+// StartHeartbeat prints "prog: heartbeat: <status()>" to stderr every
+// interval until ctx is cancelled or the returned stop function is
+// called. It exists for long soefig/soesweep matrix runs: the status
+// callback is invoked concurrently with the worker pool, which is safe
+// because the engine's metrics snapshots read atomic registry counters
+// (see experiments.Runner.Metrics and the -race regression test).
+// A non-positive interval disables the heartbeat; stop is then a no-op.
+// stop is idempotent and waits for the heartbeat goroutine to exit, so
+// no line is ever emitted after stop returns.
+func StartHeartbeat(ctx context.Context, prog string, interval time.Duration, status func() string) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-done:
+				return
+			case <-t.C:
+				fmt.Fprintf(os.Stderr, "%s: heartbeat: %s\n", prog, status())
+			}
+		}
+	}()
+	var stopped bool
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		close(done)
+		<-finished
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"soemt/internal/obs"
 	"soemt/internal/pipeline"
 	"soemt/internal/stats"
 	"soemt/internal/workload"
@@ -134,6 +135,24 @@ type SwitchStats struct {
 	L1Miss   uint64 // unresolved L1 miss at the head (§6 extension)
 }
 
+// bump counts one switch under the cause chosen by Step. The cause
+// vocabulary is obs.Cause so the tracer and the aggregate stats can
+// never disagree about why a switch happened.
+func (s *SwitchStats) bump(cause obs.Cause) {
+	switch cause {
+	case obs.CauseMiss:
+		s.Miss++
+	case obs.CauseQuota:
+		s.Quota++
+	case obs.CauseMaxCycles:
+		s.MaxQuota++
+	case obs.CausePause:
+		s.Pause++
+	case obs.CauseL1Miss:
+		s.L1Miss++
+	}
+}
+
 // Forced returns switches induced by the mechanism rather than by
 // misses (the quantity plotted in Figure 7).
 func (s SwitchStats) Forced() uint64 { return s.Quota + s.MaxQuota + s.Pause }
@@ -171,7 +190,60 @@ type Controller struct {
 	samples     []Sample
 	missLatSum  float64
 	missLatN    uint64
-	fastForward bool // Advance may skip provably idle cycle stretches
+	fastForward bool    // Advance may skip provably idle cycle stretches
+	obs         *ctlObs // nil = observability detached (the common case)
+}
+
+// ctlObs holds the controller's observability hooks: the event tracer
+// plus registry counters pre-resolved at SetObserver time so event
+// sites pay one atomic add, never a map lookup. A nil *ctlObs disables
+// everything at the cost of one pointer check per event site (switch,
+// sample, skip — never per cycle), which is how the ≤2% disabled
+// overhead budget is met.
+type ctlObs struct {
+	tr *obs.Tracer
+
+	swMiss, swQuota, swMaxQ, swPause, swL1 *obs.Counter
+	skipWindows, skipCycles, samples       *obs.Counter
+}
+
+// SetObserver attaches (or, with nil, detaches) an observability sink.
+// Observability is strictly read-only: attaching an observer never
+// changes the controller's produced results — the fast-forward
+// equivalence matrix in internal/sim enforces this bit-identically.
+func (c *Controller) SetObserver(o *obs.Observer) {
+	if o == nil || (o.Trace == nil && o.Metrics == nil) {
+		c.obs = nil
+		return
+	}
+	reg := o.Metrics // nil-safe: a nil registry hands out nil counters
+	c.obs = &ctlObs{
+		tr:          o.Trace,
+		swMiss:      reg.Counter("core.switch.miss"),
+		swQuota:     reg.Counter("core.switch.quota"),
+		swMaxQ:      reg.Counter("core.switch.max_cycles"),
+		swPause:     reg.Counter("core.switch.pause"),
+		swL1:        reg.Counter("core.switch.l1_miss"),
+		skipWindows: reg.Counter("core.skip.windows"),
+		skipCycles:  reg.Counter("core.skip.cycles"),
+		samples:     reg.Counter("core.samples"),
+	}
+}
+
+// countSwitch mirrors one switch into the registry.
+func (h *ctlObs) countSwitch(cause obs.Cause) {
+	switch cause {
+	case obs.CauseMiss:
+		h.swMiss.Inc()
+	case obs.CauseQuota:
+		h.swQuota.Inc()
+	case obs.CauseMaxCycles:
+		h.swMaxQ.Inc()
+	case obs.CausePause:
+		h.swPause.Inc()
+	case obs.CauseL1Miss:
+		h.swL1.Inc()
+	}
 }
 
 // NewController builds a controller over pipe and thread contexts.
@@ -417,6 +489,15 @@ func (c *Controller) skipIdle(limit uint64) uint64 {
 	if cur.firstRetireSeen {
 		cur.counters.Totals.Cycles += n
 	}
+	if h := c.obs; h != nil {
+		h.skipWindows.Inc()
+		h.skipCycles.Add(n)
+		if h.tr != nil {
+			h.tr.Record(obs.Event{
+				Cycle: c.now, Kind: obs.KindSkip, Thread: int32(c.cur), N: n,
+			})
+		}
+	}
 	c.now = end
 	return n
 }
@@ -463,8 +544,7 @@ func (c *Controller) Step() {
 	}
 
 	multi := len(c.threads) > 1
-	switchNow := false
-	var reason *uint64
+	cause := obs.CauseNone
 
 	if r.HeadMissPending {
 		if !cur.hasLastMiss || cur.lastMissSeq != r.HeadMissSeq {
@@ -479,32 +559,35 @@ func (c *Controller) Step() {
 			}
 		}
 		if multi {
-			switchNow, reason = true, &c.switches.Miss
+			cause = obs.CauseMiss
 		}
 	}
-	if !switchNow && multi && c.cfg.SwitchOnL1Miss && r.HeadL1Pending {
-		switchNow, reason = true, &c.switches.L1Miss
+	if cause == obs.CauseNone && multi && c.cfg.SwitchOnL1Miss && r.HeadL1Pending {
+		cause = obs.CauseL1Miss
 	}
-	if !switchNow && multi && c.cfg.SwitchOnPause && r.PauseRetired {
-		switchNow, reason = true, &c.switches.Pause
+	if cause == obs.CauseNone && multi && c.cfg.SwitchOnPause && r.PauseRetired {
+		cause = obs.CausePause
 	}
-	if !switchNow && multi && cur.quota > 0 && cur.deficit <= 0 && cur.firstRetireSeen {
-		switchNow, reason = true, &c.switches.Quota
+	if cause == obs.CauseNone && multi && cur.quota > 0 && cur.deficit <= 0 && cur.firstRetireSeen {
+		cause = obs.CauseQuota
 	}
-	if !switchNow && multi && c.cfg.MaxCyclesQuota > 0 &&
+	if cause == obs.CauseNone && multi && c.cfg.MaxCyclesQuota > 0 &&
 		c.now >= cur.switchInAt && c.now-cur.switchInAt >= c.cfg.MaxCyclesQuota {
-		switchNow, reason = true, &c.switches.MaxQuota
+		cause = obs.CauseMaxCycles
 	}
 
-	if switchNow {
-		*reason++
-		c.switchThread()
+	if cause != obs.CauseNone {
+		c.switches.bump(cause)
+		c.switchThread(cause)
 	}
 	c.now++
 }
 
 // switchThread squashes the pipeline and rotates to the next thread.
-func (c *Controller) switchThread() {
+// cause records why the switch fired (miss-induced vs forced) for the
+// event tracer and registry; the mechanism itself does not depend on
+// it.
+func (c *Controller) switchThread(cause obs.Cause) {
 	cur := c.threads[c.cur]
 	cur.visits++
 	cur.visitInstrs += cur.retired - cur.visitMark
@@ -518,6 +601,7 @@ func (c *Controller) switchThread() {
 	// another switch but is the SAME architectural miss and must not
 	// inflate the Misses counter.
 
+	prev := c.cur
 	c.cur = (c.cur + 1) % len(c.threads)
 	next := c.threads[c.cur]
 	startAt := c.now + c.cfg.DrainCycles
@@ -537,6 +621,20 @@ func (c *Controller) switchThread() {
 	next.visitMark = next.retired
 	c.pipe.SetStream(c.cur, next.Stream, startAt)
 	c.pipe.SetEventsFrom(next.Events, next.eventIdx)
+
+	if h := c.obs; h != nil {
+		h.countSwitch(cause)
+		if h.tr != nil {
+			h.tr.Record(obs.Event{
+				Cycle: c.now, Kind: obs.KindSwitch, Cause: cause,
+				Thread: int32(prev), A: cur.deficit, N: uint64(c.cur),
+			})
+			h.tr.Record(obs.Event{
+				Cycle: c.now, Kind: obs.KindDeficit,
+				Thread: int32(c.cur), A: next.deficit, B: next.quota,
+			})
+		}
+	}
 }
 
 // sample reads the Δ-window counters, records the time series, and
@@ -581,6 +679,22 @@ func (c *Controller) sample() {
 	}
 	c.samples = append(c.samples, rec)
 	c.sampleAt = c.now
+
+	if h := c.obs; h != nil {
+		h.samples.Inc()
+		if h.tr != nil {
+			for i, st := range rec.Threads {
+				h.tr.Record(obs.Event{
+					Cycle: c.now, Kind: obs.KindSample, Thread: int32(i),
+					A: st.EstIPCST, B: st.WindowIPC, N: st.Window.Instrs,
+				})
+				h.tr.Record(obs.Event{
+					Cycle: c.now, Kind: obs.KindQuota, Thread: int32(i),
+					A: st.Quota,
+				})
+			}
+		}
+	}
 }
 
 // String summarizes controller state for debugging.

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"soemt/internal/faultinject"
+	"soemt/internal/obs"
 	"soemt/internal/sim"
 )
 
@@ -98,6 +99,7 @@ func NewCache(dir string) (*Cache, error) {
 		run:      sim.RunContext,
 		mem:      make(map[string]*sim.Result),
 		inflight: make(map[string]*inflightRun),
+		m:        newMetrics(obs.NewRegistry()),
 	}
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -128,6 +130,12 @@ func (c *Cache) Degraded() error {
 
 // Metrics returns a snapshot of the cache's instrumentation.
 func (c *Cache) Metrics() RunnerMetrics { return c.m.snapshot() }
+
+// Observability returns the cache's metrics registry. It carries the
+// counters behind Metrics plus everything simulations publish when the
+// registry is attached to their specs (see Runner). Safe for
+// concurrent use.
+func (c *Cache) Observability() *obs.Registry { return c.m.reg }
 
 func (c *Cache) logf(format string, args ...interface{}) {
 	if c.Logf != nil {
@@ -166,6 +174,13 @@ func (c *Cache) RunSpecContext(ctx context.Context, spec sim.Spec) (*sim.Result,
 	if err != nil {
 		return nil, err
 	}
+	// Fresh simulations publish their engine metrics (pipe.*, core.*,
+	// sim.*) into the cache's registry unless the caller attached its
+	// own observer. Fingerprints exclude Obs, so this never forks cache
+	// keys.
+	if spec.Obs == nil {
+		spec.Obs = &obs.Observer{Metrics: c.m.reg}
+	}
 	res, _, err := c.Do(key, func() (*sim.Result, error) {
 		c.m.runsStarted.Add(1)
 		start := time.Now()
@@ -175,7 +190,7 @@ func (c *Cache) RunSpecContext(ctx context.Context, spec sim.Spec) (*sim.Result,
 			return nil, err
 		}
 		c.m.runsCompleted.Add(1)
-		c.m.simWallNanos.Add(int64(time.Since(start)))
+		c.m.simWallNanos.Add(uint64(time.Since(start)))
 		c.m.simCycles.Add(r.WallCycles)
 		if r.Truncated {
 			c.m.truncated.Add(1)

@@ -2,8 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"sync/atomic"
 	"time"
+
+	"soemt/internal/obs"
 )
 
 // RunnerMetrics is a point-in-time snapshot of the experiment engine's
@@ -47,22 +48,50 @@ func (m RunnerMetrics) String() string {
 		m.SimWall.Round(time.Millisecond))
 }
 
-// metrics is the lock-free collector behind RunnerMetrics. All fields
-// are updated with atomics; snapshot() is safe to call while runs are
-// in flight (it is a consistent-enough view for progress reporting).
+// metrics is the collector behind RunnerMetrics, backed by the
+// observability registry's atomic counters (DESIGN.md §10) so the same
+// values are visible through Cache.Observability alongside everything
+// the simulations publish there. All updates are atomic adds;
+// snapshot() is safe to call from any goroutine while runs are in
+// flight (the previous ad-hoc atomic fields predated the registry and
+// could not be aggregated with per-run metrics) — it is a
+// consistent-enough view for progress reporting, not a transaction.
 type metrics struct {
-	runsStarted   atomic.Uint64
-	runsCompleted atomic.Uint64
-	runsFailed    atomic.Uint64
-	truncated     atomic.Uint64
+	reg *obs.Registry
 
-	memHits   atomic.Uint64
-	diskHits  atomic.Uint64
-	dedupHits atomic.Uint64
-	misses    atomic.Uint64
+	runsStarted   *obs.Counter
+	runsCompleted *obs.Counter
+	runsFailed    *obs.Counter
+	truncated     *obs.Counter
 
-	simCycles    atomic.Uint64
-	simWallNanos atomic.Int64
+	memHits   *obs.Counter
+	diskHits  *obs.Counter
+	dedupHits *obs.Counter
+	misses    *obs.Counter
+
+	simCycles    *obs.Counter
+	simWallNanos *obs.Counter
+}
+
+// newMetrics resolves the collector's counters in reg (a fresh
+// registry when nil).
+func newMetrics(reg *obs.Registry) metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return metrics{
+		reg:           reg,
+		runsStarted:   reg.Counter("runner.runs_started"),
+		runsCompleted: reg.Counter("runner.runs_completed"),
+		runsFailed:    reg.Counter("runner.runs_failed"),
+		truncated:     reg.Counter("runner.runs_truncated"),
+		memHits:       reg.Counter("cache.mem_hits"),
+		diskHits:      reg.Counter("cache.disk_hits"),
+		dedupHits:     reg.Counter("cache.dedup_hits"),
+		misses:        reg.Counter("cache.misses"),
+		simCycles:     reg.Counter("runner.sim_cycles"),
+		simWallNanos:  reg.Counter("runner.sim_wall_nanos"),
+	}
 }
 
 func (m *metrics) snapshot() RunnerMetrics {

@@ -4,10 +4,13 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"soemt/internal/core"
 	"soemt/internal/faultinject"
+	"soemt/internal/obs"
 	"soemt/internal/sim"
 	"soemt/internal/workload"
 )
@@ -164,6 +167,12 @@ func (r *Runner) Cache() *Cache { return r.cache }
 // Metrics returns a snapshot of the engine's instrumentation (runs
 // executed, cache hits per layer, simulated cycles per second).
 func (r *Runner) Metrics() RunnerMetrics { return r.cache.Metrics() }
+
+// Observability returns the engine's metrics registry: the counters
+// behind Metrics plus per-run engine metrics (pipe.*, core.*, sim.*)
+// published by the simulations, and the RunAll pool gauges. Safe for
+// concurrent use at any time, including mid-run.
+func (r *Runner) Observability() *obs.Registry { return r.cache.Observability() }
 
 func (r *Runner) logf(format string, args ...interface{}) {
 	if r.Progress != nil {
@@ -352,35 +361,52 @@ func (r *Runner) RunAllContext(ctx context.Context) ([]*PairRun, error) {
 		})
 	}
 
-	runOne := func(p Pair) (pr *PairRun, err error) {
+	// Pool occupancy gauges: workers = configured size, active = pairs
+	// being simulated right now. Visible mid-run via Observability.
+	reg := r.Observability()
+	reg.Gauge("pool.workers").Set(int64(workers))
+	active := reg.Gauge("pool.active")
+
+	runOne := func(ctx context.Context, p Pair) (pr *PairRun, err error) {
 		defer func() {
 			if rec := recover(); rec != nil {
 				err = fmt.Errorf("experiments: pair %s: worker panic: %v", p.Name(), rec)
 			}
 		}()
+		active.Add(1)
+		defer active.Add(-1)
 		r.Faults.Sleep("worker.delay")
 		r.Faults.MaybePanic("worker.panic")
-		return r.RunPairContext(runCtx, p)
+		// Label the pair for CPU profiles: `soesim -pprof` samples then
+		// attribute to the pair being simulated, not just the pool.
+		pprof.Do(ctx, pprof.Labels("soemt_pair", p.Name()), func(ctx context.Context) {
+			pr, err = r.RunPairContext(ctx, p)
+		})
+		return pr, err
 	}
 
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for i := range next {
-				if runCtx.Err() != nil {
-					continue // drain without running
+			// The worker label distinguishes pool goroutines in pprof
+			// (goroutine and CPU profiles) on long matrix runs.
+			pprof.Do(runCtx, pprof.Labels("soemt_worker", strconv.Itoa(w)), func(ctx context.Context) {
+				for i := range next {
+					if ctx.Err() != nil {
+						continue // drain without running
+					}
+					pr, err := runOne(ctx, ps[i])
+					if err != nil {
+						fail(err)
+						continue
+					}
+					out[i] = pr
 				}
-				pr, err := runOne(ps[i])
-				if err != nil {
-					fail(err)
-					continue
-				}
-				out[i] = pr
-			}
-		}()
+			})
+		}(w)
 	}
 dispatch:
 	for i := range ps {

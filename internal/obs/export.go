@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Exporters for the event tracer.
+//
+// Chrome trace_event JSON: the emitted file is the object form
+// ({"traceEvents": [...]}) understood by chrome://tracing and Perfetto.
+// One cycle is rendered as one microsecond (the format's ts unit), so
+// the timeline reads directly in cycles. Every traced Event becomes
+// one trace_event object whose args carry the full record in exact
+// string form ("cycle", "cause", "a", "b", "n") — ts/tid/dur are
+// presentation only, so ReadChromeTrace round-trips exactly even for
+// cycles beyond float64 precision and non-finite payloads. Two kinds
+// of presentation-only extras are also emitted and skipped on read:
+// thread_name metadata (ph "M") and per-dispatch spans (cat
+// "dispatch") synthesized between consecutive switch records so thread
+// occupancy shows as solid blocks on each thread's track.
+//
+// CSV: one event per line, "cycle,kind,thread,cause,a,b,n", with
+// floats in strconv 'g'/-1 form so WriteCSV∘ReadCSV is the identity.
+
+// chromeEvent is the subset of the trace_event schema we read back.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func eventArgs(ev Event) map[string]string {
+	return map[string]string{
+		"cycle":  strconv.FormatUint(ev.Cycle, 10),
+		"kind":   ev.Kind.String(),
+		"thread": strconv.FormatInt(int64(ev.Thread), 10),
+		"cause":  ev.Cause.String(),
+		"a":      formatFloat(ev.A),
+		"b":      formatFloat(ev.B),
+		"n":      strconv.FormatUint(ev.N, 10),
+	}
+}
+
+// WriteChromeTrace renders events as Chrome trace_event JSON.
+// threadNames, when non-empty, labels the per-thread tracks (index =
+// thread id); it is presentation metadata and not needed to read the
+// file back.
+func WriteChromeTrace(w io.Writer, events []Event, threadNames []string) error {
+	tr := chromeTrace{
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]string{"tool": "soesim", "clock": "1 cycle = 1us"},
+		TraceEvents:     make([]chromeEvent, 0, len(events)+len(threadNames)),
+	}
+	for i, name := range threadNames {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: i,
+			Args: map[string]string{"name": name},
+		})
+	}
+	var lastSwitch *Event
+	for i := range events {
+		ev := events[i]
+		ce := chromeEvent{
+			Name: ev.Kind.String(),
+			Cat:  ev.Kind.String(),
+			Ph:   "i",
+			Ts:   float64(ev.Cycle),
+			Tid:  int(ev.Thread),
+			S:    "t",
+			Args: eventArgs(ev),
+		}
+		if ev.Cause != CauseNone {
+			ce.Name = ev.Kind.String() + ":" + ev.Cause.String()
+		}
+		switch ev.Kind {
+		case KindSwitch:
+			if lastSwitch != nil && ev.Cycle >= lastSwitch.Cycle {
+				// Span for the dispatch that just ended: the thread that
+				// came in at the previous switch ran until this one.
+				tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+					Name: "dispatch", Cat: "dispatch", Ph: "X",
+					Ts: float64(lastSwitch.Cycle), Dur: float64(ev.Cycle - lastSwitch.Cycle),
+					Tid: int(lastSwitch.N),
+				})
+			}
+			lastSwitch = &events[i]
+		case KindSkip:
+			ce.Ph, ce.S = "X", ""
+			ce.Dur = float64(ev.N)
+			ce.Name = "fast-forward"
+		case KindDeficit:
+			ce.Ph, ce.S = "C", ""
+			ce.Name = fmt.Sprintf("deficit.t%d", ev.Thread)
+			ce.Args["deficit"] = formatFloat(ev.A)
+			ce.Args["quota"] = formatFloat(ev.B)
+		}
+		tr.TraceEvents = append(tr.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}
+
+func parseArgs(args map[string]string) (Event, error) {
+	var ev Event
+	cycle, err := strconv.ParseUint(args["cycle"], 10, 64)
+	if err != nil {
+		return ev, fmt.Errorf("obs: bad cycle %q: %w", args["cycle"], err)
+	}
+	kind, ok := KindFromString(args["kind"])
+	if !ok {
+		return ev, fmt.Errorf("obs: unknown kind %q", args["kind"])
+	}
+	thread, err := strconv.ParseInt(args["thread"], 10, 32)
+	if err != nil {
+		return ev, fmt.Errorf("obs: bad thread %q: %w", args["thread"], err)
+	}
+	cause, ok := CauseFromString(args["cause"])
+	if !ok {
+		return ev, fmt.Errorf("obs: unknown cause %q", args["cause"])
+	}
+	a, err := strconv.ParseFloat(args["a"], 64)
+	if err != nil {
+		return ev, fmt.Errorf("obs: bad a %q: %w", args["a"], err)
+	}
+	b, err := strconv.ParseFloat(args["b"], 64)
+	if err != nil {
+		return ev, fmt.Errorf("obs: bad b %q: %w", args["b"], err)
+	}
+	n, err := strconv.ParseUint(args["n"], 10, 64)
+	if err != nil {
+		return ev, fmt.Errorf("obs: bad n %q: %w", args["n"], err)
+	}
+	ev = Event{Cycle: cycle, Kind: kind, Cause: cause, Thread: int32(thread), A: a, B: b, N: n}
+	return ev, nil
+}
+
+// ReadChromeTrace parses a file written by WriteChromeTrace back into
+// events, skipping presentation-only records (metadata and synthesized
+// dispatch spans). Malformed input returns an error, never panics.
+func ReadChromeTrace(r io.Reader) ([]Event, error) {
+	var tr chromeTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tr); err != nil {
+		return nil, fmt.Errorf("obs: chrome trace: %w", err)
+	}
+	var out []Event
+	for _, ce := range tr.TraceEvents {
+		if ce.Ph == "M" || ce.Cat == "dispatch" {
+			continue
+		}
+		if ce.Args == nil {
+			return nil, fmt.Errorf("obs: chrome trace: event %q has no args", ce.Name)
+		}
+		ev, err := parseArgs(ce.Args)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// csvHeader is the column layout of the CSV exporter.
+var csvHeader = []string{"cycle", "kind", "thread", "cause", "a", "b", "n"}
+
+// WriteCSV renders events as CSV with a header row.
+func WriteCSV(w io.Writer, events []Event) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, ev := range events {
+		rec := []string{
+			strconv.FormatUint(ev.Cycle, 10),
+			ev.Kind.String(),
+			strconv.FormatInt(int64(ev.Thread), 10),
+			ev.Cause.String(),
+			formatFloat(ev.A),
+			formatFloat(ev.B),
+			strconv.FormatUint(ev.N, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a file written by WriteCSV back into events.
+// Malformed input returns an error, never panics.
+func ReadCSV(r io.Reader) ([]Event, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("obs: csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("obs: csv: missing header")
+	}
+	for i, col := range csvHeader {
+		if rows[0][i] != col {
+			return nil, fmt.Errorf("obs: csv: header column %d is %q, want %q", i, rows[0][i], col)
+		}
+	}
+	out := make([]Event, 0, len(rows)-1)
+	for _, row := range rows[1:] {
+		ev, err := parseArgs(map[string]string{
+			"cycle": row[0], "kind": row[1], "thread": row[2],
+			"cause": row[3], "a": row[4], "b": row[5], "n": row[6],
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}

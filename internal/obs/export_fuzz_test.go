@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// eventsEqual compares events treating NaN payloads as equal to
+// themselves (the exporters preserve NaN, but NaN != NaN).
+func eventsEqual(a, b Event) bool {
+	feq := func(x, y float64) bool {
+		if math.IsNaN(x) && math.IsNaN(y) {
+			return true
+		}
+		return x == y
+	}
+	return a.Cycle == b.Cycle && a.Kind == b.Kind && a.Cause == b.Cause &&
+		a.Thread == b.Thread && a.N == b.N && feq(a.A, b.A) && feq(a.B, b.B)
+}
+
+// fuzzEvent clamps fuzz inputs onto the valid enum ranges so the
+// round-trip property is tested over encodable events; out-of-range
+// enums are rejected by the writers' String() -> "unknown" mapping and
+// covered by the malformed-input fuzzers below.
+func fuzzEvent(cycle uint64, kind, cause uint8, thread int32, a, b float64, n uint64) Event {
+	return Event{
+		Cycle:  cycle,
+		Kind:   Kind(kind%uint8(KindPhase)) + KindSwitch,
+		Cause:  Cause(cause % uint8(CauseMeasure+1)),
+		Thread: thread,
+		A:      a,
+		B:      b,
+		N:      n,
+	}
+}
+
+func FuzzCSVRoundTrip(f *testing.F) {
+	f.Add(uint64(100), uint8(0), uint8(1), int32(0), 1.5, -2.25, uint64(7))
+	f.Add(uint64(0), uint8(3), uint8(0), int32(-1), math.NaN(), math.Inf(-1), uint64(0))
+	f.Add(^uint64(0), uint8(6), uint8(7), int32(1), 1e308, 5e-324, ^uint64(0))
+	f.Fuzz(func(t *testing.T, cycle uint64, kind, cause uint8, thread int32, a, b float64, n uint64) {
+		want := fuzzEvent(cycle, kind, cause, thread, a, b, n)
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, []Event{want}); err != nil {
+			t.Fatalf("WriteCSV: %v", err)
+		}
+		got, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadCSV of our own output: %v\n%s", err, buf.String())
+		}
+		if len(got) != 1 || !eventsEqual(got[0], want) {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	})
+}
+
+func FuzzChromeTraceRoundTrip(f *testing.F) {
+	f.Add(uint64(100), uint8(0), uint8(1), int32(0), 1.5, -2.25, uint64(7))
+	f.Add(uint64(0), uint8(1), uint8(2), int32(-1), math.NaN(), math.Inf(1), uint64(3))
+	f.Add(^uint64(0), uint8(4), uint8(6), int32(1), 1e308, 5e-324, ^uint64(0))
+	f.Fuzz(func(t *testing.T, cycle uint64, kind, cause uint8, thread int32, a, b float64, n uint64) {
+		want := fuzzEvent(cycle, kind, cause, thread, a, b, n)
+		var buf bytes.Buffer
+		if err := WriteChromeTrace(&buf, []Event{want}, []string{"t0", "t1"}); err != nil {
+			t.Fatalf("WriteChromeTrace: %v", err)
+		}
+		got, err := ReadChromeTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadChromeTrace of our own output: %v\n%s", err, buf.String())
+		}
+		if len(got) != 1 || !eventsEqual(got[0], want) {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	})
+}
+
+func FuzzReadCSVMalformed(f *testing.F) {
+	f.Add("cycle,kind,thread,cause,a,b,n\n1,switch,0,miss,0,0,0")
+	f.Add("cycle,kind,thread,cause,a,b,n\n1,bogus,0,miss,0,0,0")
+	f.Add("")
+	f.Add("a,b\n1,2")
+	f.Add("cycle,kind,thread,cause,a,b,n\n18446744073709551616,switch,0,miss,0,0,0")
+	f.Fuzz(func(t *testing.T, in string) {
+		// Must never panic; on success the decoded events must re-encode.
+		events, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, events); err != nil {
+			t.Fatalf("accepted input failed to re-encode: %v", err)
+		}
+	})
+}
+
+func FuzzReadChromeTraceMalformed(f *testing.F) {
+	f.Add(`{"traceEvents":[]}`)
+	f.Add(`{"traceEvents":[{"name":"x","ph":"M"}]}`)
+	f.Add(`{"traceEvents":[{"name":"switch","args":{"cycle":"1","kind":"switch","thread":"0","cause":"miss","a":"0","b":"0","n":"0"}}]}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`{`)
+	f.Fuzz(func(t *testing.T, in string) {
+		events, err := ReadChromeTrace(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteChromeTrace(&buf, events, nil); err != nil {
+			t.Fatalf("accepted input failed to re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,41 @@
+// Package obs is the simulator's observability layer: a cheap
+// always-on metrics registry (atomic counters and gauges, DESIGN.md
+// §10) plus an opt-in structured event tracer whose ring-buffered
+// records can be exported as Chrome trace_event JSON (openable in
+// chrome://tracing or Perfetto) or CSV.
+//
+// The package is a leaf: it imports nothing from the simulator, so
+// core, pipeline, sim and experiments can all depend on it. Every
+// consumer follows the same contract: a nil *Tracer, *Registry,
+// *Counter or *Gauge is a valid "disabled" instance whose methods
+// no-op, so instrumented code needs no conditional plumbing and the
+// disabled path costs one nil check per event site (never per cycle).
+//
+// Nothing in this package feeds back into simulation state: attaching
+// or detaching an Observer never changes a produced sim.Result (the
+// fast-forward equivalence matrix enforces this bit-identically).
+package obs
+
+// Observer bundles the two observability channels a simulation run can
+// carry: an event tracer and a metrics registry. Either field may be
+// nil independently; a nil *Observer disables both.
+type Observer struct {
+	Trace   *Tracer   // structured event stream (nil = tracing off)
+	Metrics *Registry // counters/gauges (nil = no registry)
+}
+
+// Tracer returns the observer's tracer, nil-safe.
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}
+
+// Registry returns the observer's metrics registry, nil-safe.
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}

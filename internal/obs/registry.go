@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe
+// for concurrent use and safe on a nil receiver (no-ops), so
+// instrumented code can hold counters unconditionally.
+type Counter struct {
+	name string
+	v    atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 for a nil counter).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the registered name ("" for a nil counter).
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Gauge is a point-in-time signed metric (e.g. pool occupancy). All
+// methods are safe for concurrent use and no-op on a nil receiver.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Load returns the current value (0 for a nil gauge).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Name returns the registered name ("" for a nil gauge).
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// Metric is one row of a registry snapshot.
+type Metric struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"` // "counter" or "gauge"
+	Value int64  `json:"value"`
+}
+
+// Registry is a named collection of counters and gauges. Get-or-create
+// lookups take a mutex; the returned *Counter/*Gauge should be cached
+// by hot paths so updates are a single atomic op. All methods are safe
+// for concurrent use; a nil *Registry hands out nil (disabled)
+// instruments.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. A nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. A nil registry returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Snapshot returns every registered metric sorted by name. Values are
+// read atomically per metric; the snapshot as a whole is
+// consistent-enough for progress reporting, not a transaction.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Kind: "counter", Value: int64(c.v.Load())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Kind: "gauge", Value: g.v.Load()})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteTo renders the snapshot as "name value" lines, one metric per
+// line, sorted by name.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, m := range r.Snapshot() {
+		n, err := fmt.Fprintf(w, "%s %d\n", m.Name, m.Value)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// String renders the snapshot as one line for logs.
+func (r *Registry) String() string {
+	var b strings.Builder
+	for i, m := range r.Snapshot() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", m.Name, m.Value)
+	}
+	return b.String()
+}

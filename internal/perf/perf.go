@@ -49,6 +49,15 @@ type Report struct {
 	// speedup over the cycle-by-cycle reference (ref seconds / ff
 	// seconds). Present only for scenarios run under both engines.
 	Speedups map[string]float64 `json:"speedups,omitempty"`
+
+	// ObsOverhead maps scenario name to the wall-time ratio of a fully
+	// observed run (event tracer + metrics registry attached) over the
+	// same run with observability detached, best-of-N both sides. The
+	// detached run IS the production configuration, so this ratio bounds
+	// what DESIGN.md §10's "≤2% when disabled" budget actually buys:
+	// the disabled cost (one nil check per event site) cannot exceed
+	// the full enabled cost measured here.
+	ObsOverhead map[string]float64 `json:"obs_overhead,omitempty"`
 }
 
 // NewReport stamps a report with build metadata.

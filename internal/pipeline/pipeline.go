@@ -70,6 +70,24 @@ type Metrics struct {
 	RSOccupancy  uint64 // sum of per-cycle RS occupancy
 }
 
+// Each visits every metric as a (stable name, value) pair, in
+// declaration order. It is the bridge into the observability layer's
+// metrics registry (internal/obs) without making the pipeline depend
+// on it: sim publishes these under a "pipe." prefix at the end of each
+// run.
+func (m Metrics) Each(fn func(name string, v uint64)) {
+	fn("fetched", m.Fetched)
+	fn("retired", m.Retired)
+	fn("squashed", m.Squashed)
+	fn("miss_flagged", m.MissFlagged)
+	fn("demand_misses", m.DemandMisses)
+	fn("fwd_loads", m.FwdLoads)
+	fn("rename_stalls", m.RenameStalls)
+	fn("cycles", m.Cycles)
+	fn("rob_occupancy", m.ROBOccupancy)
+	fn("rs_occupancy", m.RSOccupancy)
+}
+
 // AvgROBOccupancy returns mean in-flight ROB entries per cycle.
 func (m Metrics) AvgROBOccupancy() float64 {
 	if m.Cycles == 0 {

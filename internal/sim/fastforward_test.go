@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"soemt/internal/core"
+	"soemt/internal/obs"
 	"soemt/internal/pipeline"
 	"soemt/internal/workload"
 )
@@ -81,8 +82,14 @@ func TestFastForwardEquivalenceMatrix(t *testing.T) {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
+			// The fast-forward run carries a live observer (tracer +
+			// registry) while the reference runs bare: a byte-identical
+			// comparison therefore proves BOTH engine equivalence and
+			// that observability never perturbs a result.
+			observer := &obs.Observer{Trace: obs.NewTracer(0), Metrics: obs.NewRegistry()}
 			ff := tc.spec
 			ff.CycleByCycle = false
+			ff.Obs = observer
 			ref := tc.spec
 			ref.CycleByCycle = true
 
@@ -99,6 +106,17 @@ func TestFastForwardEquivalenceMatrix(t *testing.T) {
 			if string(ffJSON) != string(refJSON) {
 				t.Errorf("fast-forward result diverges from cycle-by-cycle reference\nfast-forward: %s\nreference:    %s",
 					firstDiff(ffJSON, refJSON), firstDiffOther(ffJSON, refJSON))
+			}
+			// The traced run must have produced a non-trivial stream —
+			// otherwise this test could pass with observability dead.
+			if observer.Trace.Len() == 0 {
+				t.Error("observer attached but no events traced")
+			}
+			if got := observer.Metrics.Counter("sim.runs").Load(); got != 1 {
+				t.Errorf("registry sim.runs = %d, want 1", got)
+			}
+			if res, want := observer.Metrics.Counter("sim.wall_cycles").Load(), ffRes.WallCycles; res != want {
+				t.Errorf("registry sim.wall_cycles = %d, want %d", res, want)
 			}
 		})
 	}

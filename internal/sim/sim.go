@@ -14,6 +14,7 @@ import (
 	"soemt/internal/core"
 	"soemt/internal/isa"
 	"soemt/internal/mem"
+	"soemt/internal/obs"
 	"soemt/internal/pipeline"
 	"soemt/internal/stats"
 	"soemt/internal/workload"
@@ -66,9 +67,10 @@ type ThreadSpec struct {
 
 // Spec describes a complete simulation run.
 //
-// Watchdog and CycleByCycle are execution policy, not simulation
-// input: they bound or slow the run but never change a produced
-// result, so both are excluded from FingerprintJSON and cache keys.
+// Watchdog, CycleByCycle and Obs are execution policy and
+// observability, not simulation input: they bound, slow or watch the
+// run but never change a produced result, so all are excluded from
+// FingerprintJSON and cache keys.
 type Spec struct {
 	Machine  MachineConfig
 	Threads  []ThreadSpec
@@ -82,6 +84,16 @@ type Spec struct {
 	// fastforward_test.go — so this exists for verification and for
 	// benchmarking the fast-forward speedup itself.
 	CycleByCycle bool
+
+	// Obs, when non-nil, attaches the observability layer (DESIGN.md
+	// §10): controller events stream into Obs.Trace and counters
+	// accumulate into Obs.Metrics. Strictly read-only with respect to
+	// the simulation — results are bit-identical with or without an
+	// observer (the equivalence matrix runs with tracing enabled) —
+	// and therefore excluded from fingerprints: observed and
+	// unobserved runs share cache entries. Note that a cache hit skips
+	// the simulation entirely and records nothing.
+	Obs *obs.Observer `json:"-"`
 }
 
 // ThreadResult is the per-thread outcome of a run.
@@ -213,6 +225,14 @@ func RunContext(ctx context.Context, spec Spec) (res *Result, err error) {
 		return nil, err
 	}
 	ctl.SetFastForward(!spec.CycleByCycle)
+	ctl.SetObserver(spec.Obs)
+	tracer := spec.Obs.Tracer()
+	phaseCause := func(phase string) obs.Cause {
+		if phase == "measure" {
+			return obs.CauseMeasure
+		}
+		return obs.CauseWarmup
+	}
 	if testHookPostBuild != nil {
 		testHookPostBuild()
 	}
@@ -223,7 +243,20 @@ func RunContext(ctx context.Context, spec Spec) (res *Result, err error) {
 		start := ctl.Now()
 		lastRetired := ctl.TotalRetired()
 		lastProgress := start
+		if tracer != nil {
+			tracer.Record(obs.Event{
+				Cycle: start, Kind: obs.KindPhase, Cause: phaseCause(phase),
+				Thread: -1, N: target,
+			})
+		}
 		for !ctl.Advance(target, spec.Scale.MaxCycles, start, sliceCycles) {
+			if tracer != nil {
+				// One watchdog slice elapsed without completing the phase.
+				tracer.Record(obs.Event{
+					Cycle: ctl.Now(), Kind: obs.KindSlice, Cause: phaseCause(phase),
+					Thread: -1, N: sliceCycles,
+				})
+			}
 			if err := checkAborts(phase, ctl.Now()); err != nil {
 				return ctl.Now() - start, err
 			}
@@ -279,6 +312,15 @@ func RunContext(ctx context.Context, spec Spec) (res *Result, err error) {
 		}
 		res.Threads = append(res.Threads, tr)
 		res.IPCTotal += tr.IPC
+	}
+	if reg := spec.Obs.Registry(); reg != nil {
+		// Publish the measured window's pipeline metrics. Controller
+		// counters (switches, skips, samples) accumulated live.
+		pipe.Metrics.Each(func(name string, v uint64) {
+			reg.Counter("pipe." + name).Add(v)
+		})
+		reg.Counter("sim.runs").Inc()
+		reg.Counter("sim.wall_cycles").Add(cycles)
 	}
 	return res, nil
 }
