@@ -1,0 +1,93 @@
+// Command soeserve exposes the SOE experiment engine as an HTTP
+// service: a bounded job queue with backpressure, request coalescing
+// on top of the content-addressed result cache, micro-batched
+// dispatch into a simulation worker pool, and graceful drain on
+// SIGINT/SIGTERM.
+//
+//	soeserve -addr :8080 -cache-dir /var/cache/soemt
+//
+//	curl -s localhost:8080/v1/run -d '{"pair":"gcc:eon","f":0.5,"scale":"tiny"}'
+//	curl -s localhost:8080/v1/sweep -d '{"pairs":["gcc:eon"],"scale":"tiny"}'
+//	curl -s localhost:8080/v1/jobs/job-000001
+//	curl -s localhost:8080/metrics
+//
+// See DESIGN.md §11 for the architecture and drain semantics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"soemt/internal/cli"
+	"soemt/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		queueDepth   = flag.Int("queue", 64, "max accepted-but-unfinished jobs; beyond this, submissions get 429")
+		workers      = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		batchSize    = flag.Int("batch", 8, "max jobs per dispatched batch")
+		batchDelay   = flag.Duration("batch-delay", 2*time.Millisecond, "max wait to fill a batch after the first job")
+		cacheDir     = flag.String("cache-dir", "", "persistent result cache directory (content-addressed; see DESIGN.md)")
+		traceCap     = flag.Int("trace-cap", 1<<16, "event-tracer ring capacity for trace-requesting jobs")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "max time to finish accepted jobs on shutdown before cancelling them")
+	)
+	flag.Parse()
+
+	srv, err := serve.NewServer(serve.Config{
+		QueueDepth: *queueDepth,
+		Workers:    *workers,
+		BatchSize:  *batchSize,
+		BatchDelay: *batchDelay,
+		CacheDir:   *cacheDir,
+		TraceCap:   *traceCap,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	cli.NoteResume("soeserve", srv.Cache())
+
+	// First SIGINT/SIGTERM starts the drain; SignalContext restores the
+	// default disposition immediately, so a second signal kills the
+	// process if the drain itself wedges.
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		log.Printf("soeserve: signal received; draining (deadline %s, signal again to kill)", *drainTimeout)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Drain(dctx); err != nil {
+			log.Printf("soeserve: drain deadline hit; in-flight jobs were interrupted and checkpointed: %v", err)
+		} else {
+			log.Printf("soeserve: drained cleanly, no accepted job lost")
+		}
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		hs.Shutdown(sctx)
+	}()
+
+	log.Printf("soeserve: listening on %s (queue=%d workers=%d batch=%d/%s cache=%q)",
+		*addr, *queueDepth, *workers, *batchSize, *batchDelay, *cacheDir)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	<-drained
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "soeserve:", err)
+	os.Exit(1)
+}

@@ -330,10 +330,12 @@ func buildThreads(threadsArg, traceArg string) ([]sim.ThreadSpec, error) {
 
 // writeTraces exports the recorded event stream. The ring buffer keeps
 // the most recent events; if earlier ones were evicted the export is a
-// suffix of the run and says so on stderr.
+// suffix of the run — the drop count is embedded in the files
+// themselves (Chrome otherData / CSV comment) and warned about on
+// stderr, so a truncated trace can never pass for a complete one.
 func writeTraces(tracer *obs.Tracer, specs []sim.ThreadSpec, jsonPath, csvPath string) error {
 	if d := tracer.Dropped(); d > 0 {
-		fmt.Fprintf(os.Stderr, "soesim: trace ring dropped %d oldest events (capacity %d); exporting the most recent window\n",
+		fmt.Fprintf(os.Stderr, "soesim: WARNING: trace ring dropped %d oldest events (capacity %d); the export is the most recent window of the run, not a complete trace\n",
 			d, tracer.Len())
 	}
 	events := tracer.Events()
@@ -341,6 +343,7 @@ func writeTraces(tracer *obs.Tracer, specs []sim.ThreadSpec, jsonPath, csvPath s
 	for i, ts := range specs {
 		names[i] = ts.Profile.Name
 	}
+	meta := obs.MetaFor(tracer, names)
 	write := func(path string, enc func(*os.File) error) error {
 		f, err := os.Create(path)
 		if err != nil {
@@ -358,14 +361,14 @@ func writeTraces(tracer *obs.Tracer, specs []sim.ThreadSpec, jsonPath, csvPath s
 	}
 	if jsonPath != "" {
 		if err := write(jsonPath, func(f *os.File) error {
-			return obs.WriteChromeTrace(f, events, names)
+			return obs.WriteChromeTraceMeta(f, events, meta)
 		}); err != nil {
 			return err
 		}
 	}
 	if csvPath != "" {
 		if err := write(csvPath, func(f *os.File) error {
-			return obs.WriteCSV(f, events)
+			return obs.WriteCSVMeta(f, events, meta)
 		}); err != nil {
 			return err
 		}

@@ -24,6 +24,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"soemt/internal/cli"
 	"soemt/internal/core"
@@ -90,9 +91,21 @@ func main() {
 	default:
 		err = fmt.Errorf("unknown sweep %q", *sweep)
 	}
-	emit := func() {
-		if tbl == nil {
+	// Both exit paths funnel through flush, which emits the table at
+	// most once: a SIGINT landing while the final flush is underway must
+	// neither print a second copy of the table nor be swallowed into a
+	// clean exit 0 (see TestInterruptDuringFinalFlush).
+	flushed := false
+	flush := func() {
+		if tbl == nil || flushed {
 			return
+		}
+		flushed = true
+		if d, _ := time.ParseDuration(os.Getenv("SOESWEEP_TEST_FLUSH_DELAY")); d > 0 {
+			// Test hook: announce the flush window and hold it open so the
+			// acceptance test can land a signal inside it deterministically.
+			fmt.Fprintln(os.Stderr, "soesweep: flushing")
+			time.Sleep(d)
 		}
 		if *csv {
 			fmt.Print(tbl.CSV())
@@ -102,7 +115,7 @@ func main() {
 	}
 	if err != nil {
 		if cli.Interrupted(ctx, err) {
-			emit()
+			flush()
 			if *csv {
 				fmt.Println("# interrupted: sweep incomplete")
 			} else {
@@ -113,8 +126,17 @@ func main() {
 		}
 		fatal(err)
 	}
-	emit()
+	flush()
 	cli.ClearInterrupted("soesweep", cache)
+	if ctx.Err() != nil {
+		// The signal landed after the last point finished — during or
+		// just before the final flush. The sweep itself is complete and
+		// was flushed exactly once above, so the marker is cleared, but
+		// the process still reports the interruption instead of exiting
+		// 0 as if nothing happened.
+		fmt.Fprintln(os.Stderr, "soesweep: interrupted during final flush; sweep output is complete")
+		os.Exit(cli.ExitInterrupted)
+	}
 	if *metrics {
 		fmt.Fprintf(os.Stderr, "soesweep: metrics: %s\n", cache.Metrics())
 	}

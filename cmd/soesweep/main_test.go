@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"soemt/internal/cli"
+	"soemt/internal/experiments"
+)
+
+// TestMain lets the test binary stand in for the soesweep executable:
+// with SOESWEEP_TEST_MAIN=1 it runs main() on the arguments after the
+// "--" separator. That keeps the acceptance test hermetic — no go
+// build step — while still exercising process-level signal delivery
+// and real exit codes.
+func TestMain(m *testing.M) {
+	if os.Getenv("SOESWEEP_TEST_MAIN") == "1" {
+		for i, a := range os.Args {
+			if a == "--" {
+				os.Args = append([]string{os.Args[0]}, os.Args[i+1:]...)
+				break
+			}
+		}
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func startSweep(t *testing.T, cacheDir, flushDelay string) (*exec.Cmd, *strings.Builder, io.ReadCloser) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "--",
+		"-sweep", "F", "-points", "2", "-scale", "tiny", "-cache-dir", cacheDir)
+	cmd.Env = append(os.Environ(),
+		"SOESWEEP_TEST_MAIN=1",
+		"SOESWEEP_TEST_FLUSH_DELAY="+flushDelay)
+	var stdout strings.Builder
+	cmd.Stdout = &stdout
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd, &stdout, stderr
+}
+
+// Regression: a SIGINT landing while the final flush was underway used
+// to be swallowed entirely — the process printed the table, cleared
+// the interrupt marker and exited 0, indistinguishable from an
+// undisturbed run. It must exit 130, and the (idempotent) flush must
+// emit the table exactly once.
+func TestInterruptDuringFinalFlush(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real sweep in a subprocess")
+	}
+	cacheDir := t.TempDir()
+	cmd, stdout, stderr := startSweep(t, cacheDir, "2s")
+
+	// The hook announces the open flush window on stderr; land the
+	// signal inside it.
+	sawFlush := make(chan bool, 1)
+	stderrDone := make(chan struct{})
+	var errLines strings.Builder
+	go func() {
+		defer close(stderrDone)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			fmt.Fprintln(&errLines, sc.Text())
+			if strings.Contains(sc.Text(), "soesweep: flushing") {
+				sawFlush <- true
+			}
+		}
+	}()
+	select {
+	case <-sawFlush:
+		if err := cmd.Process.Signal(os.Interrupt); err != nil {
+			t.Fatal(err)
+		}
+	case <-stderrDone:
+		cmd.Wait()
+		t.Fatalf("sweep finished without ever opening a flush window; stderr:\n%s", errLines.String())
+	case <-time.After(2 * time.Minute):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("sweep never reached the flush window; stderr:\n%s", errLines.String())
+	}
+
+	err := cmd.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("sweep exited clean despite SIGINT during flush (err=%v); stderr:\n%s", err, errLines.String())
+	}
+	if code := ee.ExitCode(); code != cli.ExitInterrupted {
+		t.Fatalf("exit code = %d, want %d; stderr:\n%s", code, cli.ExitInterrupted, errLines.String())
+	}
+	if n := strings.Count(stdout.String(), "fairness"); n != 1 {
+		t.Fatalf("table header appeared %d times, want exactly 1:\n%s", n, stdout.String())
+	}
+	// The matrix itself completed, so the marker must not claim an
+	// incomplete sweep.
+	c, cerr := experiments.NewCache(cacheDir)
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	if note, ok := c.Interrupted(); ok {
+		t.Fatalf("completed sweep left an interrupt marker: %q", note)
+	}
+}
+
+// An undisturbed run through the same hook still exits 0 with one
+// table — the idempotence guard must not eat the only flush.
+func TestFinalFlushCleanExit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real sweep in a subprocess")
+	}
+	cmd, stdout, stderr := startSweep(t, t.TempDir(), "10ms")
+	go io.Copy(io.Discard, stderr)
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("clean sweep failed: %v", err)
+	}
+	if n := strings.Count(stdout.String(), "fairness"); n != 1 {
+		t.Fatalf("table header appeared %d times, want exactly 1:\n%s", n, stdout.String())
+	}
+}

@@ -1,0 +1,198 @@
+package cli
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain doubles as the subprocess helper for the second-signal
+// regression test: when re-executed with CLI_TEST_SIGNAL_HELPER=1, the
+// binary runs signalHelperMain instead of the test suite.
+func TestMain(m *testing.M) {
+	if os.Getenv("CLI_TEST_SIGNAL_HELPER") == "1" {
+		signalHelperMain()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// signalHelperMain models a command whose graceful shutdown wedges:
+// after the first signal cancels the context it "drains" for far
+// longer than any test timeout. A correct SignalContext restores
+// default disposition on the first signal, so the second one kills
+// this process; the old NotifyContext-based implementation swallowed
+// it and the process survived.
+func signalHelperMain() {
+	ctx, stop := SignalContext()
+	defer stop()
+	fmt.Println("ready")
+	<-ctx.Done()
+	fmt.Println("cancelled")
+	time.Sleep(30 * time.Second)
+	fmt.Println("survived")
+}
+
+// Regression: after the first SIGINT is handled gracefully, a second
+// SIGINT must kill the process immediately (the documented escape
+// hatch for a wedged shutdown). Fails on the pre-fix implementation,
+// which kept the signal handler registered until stop() and therefore
+// swallowed every signal after the first.
+func TestSignalContextSecondSignalKills(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX signal semantics")
+	}
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "CLI_TEST_SIGNAL_HELPER=1")
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	sc := bufio.NewScanner(out)
+	expect := func(want string) {
+		if !sc.Scan() {
+			t.Fatalf("helper exited before printing %q: %v", want, sc.Err())
+		}
+		if got := sc.Text(); got != want {
+			t.Fatalf("helper printed %q, want %q", got, want)
+		}
+	}
+	expect("ready")
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	expect("cancelled")
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("helper exited cleanly (%v); the second SIGINT was swallowed", err)
+		}
+		if ws, ok := ee.Sys().(syscall.WaitStatus); ok && (!ws.Signaled() || ws.Signal() != syscall.SIGINT) {
+			t.Fatalf("helper died of %v, want SIGINT", ws)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("helper survived a second SIGINT for 10s; default disposition was not restored")
+	}
+}
+
+// countGoroutines settles briefly so goroutines that are mid-exit are
+// not counted as leaks.
+func countGoroutines(base int) int {
+	n := runtime.NumGoroutine()
+	for i := 0; i < 50 && n > base; i++ {
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// Regression: a command that returns before any signal arrives must
+// not leak the watcher goroutine — stop joins it.
+func TestSignalContextNoGoroutineLeak(t *testing.T) {
+	// The first signal.Notify starts the runtime's global signal-loop
+	// goroutine, which lives forever by design; warm it up so the
+	// baseline excludes it.
+	_, warm := SignalContext()
+	warm()
+	base := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		_, stop := SignalContext()
+		stop()
+	}
+	if n := countGoroutines(base); n > base {
+		t.Fatalf("goroutines grew from %d to %d after 50 SignalContext+stop cycles", base, n)
+	}
+}
+
+// stop must be idempotent and safe from multiple goroutines (the serve
+// drain path and a deferred cleanup can race to it).
+func TestSignalContextStopConcurrent(t *testing.T) {
+	_, stop := SignalContext()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stop()
+		}()
+	}
+	wg.Wait()
+	stop() // and again after everyone is done
+}
+
+// Regression (-race): the heartbeat's stop flipped an unsynchronized
+// bool, so two goroutines stopping at once raced (and could double
+// close the channel). Must be clean under the race detector.
+func TestHeartbeatStopConcurrent(t *testing.T) {
+	stop := StartHeartbeat(context.Background(), "test", time.Hour, func() string { return "s" })
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stop()
+		}()
+	}
+	wg.Wait()
+	stop()
+}
+
+// Regression: a command returning before the first tick must not leak
+// the heartbeat goroutine; stop joins it even when it never fired.
+func TestHeartbeatNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		stop := StartHeartbeat(context.Background(), "test", time.Hour, func() string { return "s" })
+		stop()
+	}
+	if n := countGoroutines(base); n > base {
+		t.Fatalf("goroutines grew from %d to %d after 50 heartbeat start+stop cycles", base, n)
+	}
+}
+
+// A cancelled parent ctx also ends the heartbeat, and stop afterwards
+// still returns promptly (no deadlock against an already-dead
+// goroutine).
+func TestHeartbeatCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	stop := StartHeartbeat(ctx, "test", time.Hour, func() string { return "s" })
+	cancel()
+	done := make(chan struct{})
+	go func() {
+		stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop blocked after ctx cancellation")
+	}
+}
+
+// A disabled heartbeat's stop is a no-op that is still safe to call
+// repeatedly and concurrently.
+func TestHeartbeatDisabled(t *testing.T) {
+	stop := StartHeartbeat(context.Background(), "test", 0, func() string { return "s" })
+	stop()
+	stop()
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 )
 
@@ -14,8 +15,12 @@ import (
 // because the engine's metrics snapshots read atomic registry counters
 // (see experiments.Runner.Metrics and the -race regression test).
 // A non-positive interval disables the heartbeat; stop is then a no-op.
-// stop is idempotent and waits for the heartbeat goroutine to exit, so
-// no line is ever emitted after stop returns.
+// stop is idempotent, safe for concurrent use (it used to flip an
+// unsynchronized bool, a data race — and a double close(done) panic —
+// when a command's interrupt path and its deferred cleanup raced), and
+// waits for the heartbeat goroutine to exit, so no line is ever
+// emitted after stop returns and a command that returns before the
+// first tick leaves no goroutine behind.
 func StartHeartbeat(ctx context.Context, prog string, interval time.Duration, status func() string) (stop func()) {
 	if interval <= 0 {
 		return func() {}
@@ -37,13 +42,9 @@ func StartHeartbeat(ctx context.Context, prog string, interval time.Duration, st
 			}
 		}
 	}()
-	var stopped bool
+	var once sync.Once
 	return func() {
-		if stopped {
-			return
-		}
-		stopped = true
-		close(done)
+		once.Do(func() { close(done) })
 		<-finished
 	}
 }

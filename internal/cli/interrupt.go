@@ -21,11 +21,43 @@ import (
 const ExitInterrupted = 130
 
 // SignalContext returns a context cancelled by the first SIGINT or
-// SIGTERM. The returned stop function restores default signal
-// handling, so a second signal kills the process immediately — an
-// escape hatch if the graceful shutdown itself wedges.
+// SIGTERM.
+//
+// Unlike signal.NotifyContext, default signal disposition is restored
+// the moment the first signal lands — not when stop is called — so a
+// second signal kills the process immediately: the escape hatch if the
+// graceful shutdown itself wedges. (NotifyContext keeps the handler
+// registered until stop, silently swallowing every signal after the
+// first; a user whose drain hung could not ^C out. See the
+// second-signal regression test.)
+//
+// The returned stop function unregisters the handler and joins the
+// watcher goroutine before returning; it is idempotent and safe for
+// concurrent use. Every command defers it, so a command that returns
+// before any signal arrives leaves no goroutine behind.
 func SignalContext() (context.Context, context.CancelFunc) {
-	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ch:
+			// Restore default disposition BEFORE cancelling: anything the
+			// cancellation unwinds (flushes, checkpoints) runs with a
+			// second signal able to kill the process immediately.
+			signal.Stop(ch)
+			cancel()
+		case <-ctx.Done():
+			signal.Stop(ch)
+		}
+	}()
+	stop := func() {
+		cancel()
+		<-done
+	}
+	return ctx, stop
 }
 
 // Interrupted reports whether err is the cancellation produced by a

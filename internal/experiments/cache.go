@@ -30,6 +30,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -116,6 +117,20 @@ func NewMemCache() *Cache {
 	return c
 }
 
+// SetRunFunc replaces the simulation backend invoked on cache misses
+// (sim.RunContext by default; nil restores it). It lets services and
+// tests interpose on execution — stubbing or instrumenting the
+// simulation while keeping the real fingerprint, layering, and
+// singleflight behavior. Call it before the cache serves requests;
+// swapping backends mid-flight would let results from the old backend
+// satisfy keys produced for the new one.
+func (c *Cache) SetRunFunc(fn func(context.Context, sim.Spec) (*sim.Result, error)) {
+	if fn == nil {
+		fn = sim.RunContext
+	}
+	c.run = fn
+}
+
 // Dir returns the on-disk store directory ("" for memory-only caches,
 // including caches degraded to memory-only at construction).
 func (c *Cache) Dir() string { return c.dir }
@@ -167,8 +182,11 @@ func (c *Cache) RunSpec(spec sim.Spec) (*sim.Result, error) {
 // results are shared and must not be mutated.
 //
 // When concurrent callers collapse onto one in-flight simulation, the
-// first caller's ctx governs it; a cancellation there surfaces to
-// every waiter as that run's error, and a later call retries.
+// first caller's ctx governs it. A cancellation there does NOT poison
+// the waiters: a follower whose own ctx is still live elects itself
+// the new leader and reruns under its own ctx (see DoContext), so one
+// cancelled client can never fail an identical request from a live
+// one.
 func (c *Cache) RunSpecContext(ctx context.Context, spec sim.Spec) (*sim.Result, error) {
 	key, err := Fingerprint(spec)
 	if err != nil {
@@ -181,7 +199,7 @@ func (c *Cache) RunSpecContext(ctx context.Context, spec sim.Spec) (*sim.Result,
 	if spec.Obs == nil {
 		spec.Obs = &obs.Observer{Metrics: c.m.reg}
 	}
-	res, _, err := c.Do(key, func() (*sim.Result, error) {
+	res, _, err := c.DoContext(ctx, key, func() (*sim.Result, error) {
 		c.m.runsStarted.Add(1)
 		start := time.Now()
 		r, err := c.run(ctx, spec)
@@ -200,29 +218,100 @@ func (c *Cache) RunSpecContext(ctx context.Context, spec sim.Spec) (*sim.Result,
 	return res, err
 }
 
+// RunSpecFresh executes spec directly through the configured run
+// function, bypassing every cache layer — no lookup, no singleflight,
+// no store. It exists for traced runs: a cache hit skips the
+// simulation and records nothing (§10 contract), so a live tracer
+// requires an actual run regardless of cache state. soesim's
+// -trace-events path and soeserve's "trace": true jobs use it.
+// Run-lifecycle metrics (runs_started/completed/failed, sim cycles
+// and wall time) are still counted.
+func (c *Cache) RunSpecFresh(ctx context.Context, spec sim.Spec) (*sim.Result, error) {
+	if spec.Obs == nil {
+		spec.Obs = &obs.Observer{Metrics: c.m.reg}
+	}
+	c.m.runsStarted.Add(1)
+	start := time.Now()
+	r, err := c.run(ctx, spec)
+	if err != nil {
+		c.m.runsFailed.Add(1)
+		return nil, err
+	}
+	c.m.runsCompleted.Add(1)
+	c.m.simWallNanos.Add(uint64(time.Since(start)))
+	c.m.simCycles.Add(r.WallCycles)
+	if r.Truncated {
+		c.m.truncated.Add(1)
+	}
+	return r, nil
+}
+
 // Do returns the cached result for key, or runs fn exactly once across
 // all concurrent callers to produce it. The boolean reports whether
 // the result was served without invoking fn in this call (memory,
 // disk, or a concurrent caller's run). Errors are not cached: a later
 // call retries.
 func (c *Cache) Do(key string, fn func() (*sim.Result, error)) (*sim.Result, bool, error) {
+	return c.DoContext(context.Background(), key, fn)
+}
+
+// cancellation reports whether err is (or wraps) a context
+// cancellation or deadline expiry — the leader's ctx dying, not a
+// property of the simulation itself. Watchdog aborts (StallError,
+// DeadlineError) are typed errors that do not wrap the context
+// sentinels, so a run that would genuinely fail again is never
+// retried.
+func cancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// DoContext is Do honoring the caller's ctx while waiting on another
+// caller's in-flight run.
+//
+// Singleflight followers join the leader's cell, but the leader runs
+// under its own ctx: if that ctx is cancelled mid-run, the outcome is
+// a cancellation that says nothing about the simulation. A follower
+// whose ctx is still live must not inherit it — it loops, finds the
+// cell gone (finish always deletes it), and elects itself the new
+// leader, rerunning fn under its own ctx. Followers whose own ctx died
+// while waiting return their ctx.Err(). Genuine simulation errors
+// propagate to all waiters unchanged (and are not cached, so a later
+// call retries).
+func (c *Cache) DoContext(ctx context.Context, key string, fn func() (*sim.Result, error)) (*sim.Result, bool, error) {
 	c.warnDegraded()
-	c.mu.Lock()
-	if res, ok := c.mem[key]; ok {
-		c.mu.Unlock()
-		c.m.memHits.Add(1)
-		return res, true, nil
-	}
-	if f, ok := c.inflight[key]; ok {
-		c.mu.Unlock()
-		<-f.done
-		if f.err != nil {
-			return nil, false, f.err
+	var f *inflightRun
+	for {
+		c.mu.Lock()
+		if res, ok := c.mem[key]; ok {
+			c.mu.Unlock()
+			c.m.memHits.Add(1)
+			return res, true, nil
 		}
-		c.m.dedupHits.Add(1)
-		return f.res, true, nil
+		w, ok := c.inflight[key]
+		if !ok {
+			// No live leader: become it (still holding the lock).
+			break
+		}
+		c.mu.Unlock()
+		select {
+		case <-w.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		if w.err == nil {
+			c.m.dedupHits.Add(1)
+			return w.res, true, nil
+		}
+		if cancellation(w.err) && ctx.Err() == nil {
+			// The leader's ctx died, ours is live: re-elect. The failed
+			// cell was already removed by finish, so the next iteration
+			// either joins a newer leader or takes over.
+			c.m.dedupRetries.Add(1)
+			continue
+		}
+		return nil, false, w.err
 	}
-	f := &inflightRun{done: make(chan struct{})}
+	f = &inflightRun{done: make(chan struct{})}
 	c.inflight[key] = f
 	c.mu.Unlock()
 

@@ -69,6 +69,11 @@ type metrics struct {
 	dedupHits *obs.Counter
 	misses    *obs.Counter
 
+	// dedupRetries counts singleflight followers that re-elected a new
+	// leader because the previous one's ctx was cancelled mid-run
+	// (DESIGN.md §11); visible via the registry as cache.dedup_retries.
+	dedupRetries *obs.Counter
+
 	simCycles    *obs.Counter
 	simWallNanos *obs.Counter
 }
@@ -89,6 +94,7 @@ func newMetrics(reg *obs.Registry) metrics {
 		diskHits:      reg.Counter("cache.disk_hits"),
 		dedupHits:     reg.Counter("cache.dedup_hits"),
 		misses:        reg.Counter("cache.misses"),
+		dedupRetries:  reg.Counter("cache.dedup_retries"),
 		simCycles:     reg.Counter("runner.sim_cycles"),
 		simWallNanos:  reg.Counter("runner.sim_wall_nanos"),
 	}

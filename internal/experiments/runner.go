@@ -140,6 +140,23 @@ func NewRunner(opts Options) *Runner {
 	return r
 }
 
+// NewRunnerWith creates a Runner backed by an existing cache, so
+// several runners — e.g. one per measurement scale in a service —
+// share one content-addressed store, one singleflight layer, and one
+// metrics registry. The cache's Logf is left untouched (install a
+// logger on the shared cache itself); per-runner Progress output still
+// works. A nil cache falls back to NewRunner.
+func NewRunnerWith(opts Options, c *Cache) *Runner {
+	if c == nil {
+		return NewRunner(opts)
+	}
+	return &Runner{
+		Opts:  opts,
+		pairs: make(map[string]*PairRun),
+		cache: c,
+	}
+}
+
 // SetCacheDir switches the runner to a persistent cache rooted at dir
 // (created if missing; an uncreatable dir degrades to memory-only with
 // a warning rather than failing). It must be called before the first
@@ -186,7 +203,11 @@ func (r *Runner) markUsed() {
 	r.mu.Lock()
 	if !r.used {
 		r.used = true
-		r.cache.Faults = r.Faults
+		if r.Faults != nil {
+			// Propagate only an installed injector: runners sharing a
+			// cache (NewRunnerWith) must not clear each other's faults.
+			r.cache.Faults = r.Faults
+		}
 	}
 	r.mu.Unlock()
 }

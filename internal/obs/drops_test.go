@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Regression: an export of a tracer that overflowed must carry the
+// drop count in the artifact itself. Before the fix both exporters
+// emitted a truncated event stream indistinguishable from a complete
+// one.
+func TestChromeTraceCarriesDropCount(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	meta := TraceMeta{ThreadNames: []string{"gcc", "eon"}, Dropped: 37}
+	if err := WriteChromeTraceMeta(&buf, events, meta); err != nil {
+		t.Fatal(err)
+	}
+	back, got, err := ReadChromeTraceMeta(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dropped != 37 {
+		t.Fatalf("Dropped round-tripped as %d, want 37", got.Dropped)
+	}
+	if len(got.ThreadNames) != 2 || got.ThreadNames[0] != "gcc" || got.ThreadNames[1] != "eon" {
+		t.Fatalf("ThreadNames round-tripped as %v", got.ThreadNames)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("events round-tripped as %d, want %d", len(back), len(events))
+	}
+}
+
+func TestCSVCarriesDropCount(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteCSVMeta(&buf, events, TraceMeta{Dropped: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "# dropped=5\n") {
+		t.Fatalf("CSV does not lead with the drop comment:\n%s", buf.String())
+	}
+
+	back, meta, err := ReadCSVMeta(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Dropped != 5 {
+		t.Fatalf("Dropped round-tripped as %d, want 5", meta.Dropped)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("events round-tripped as %d, want %d", len(back), len(events))
+	}
+
+	// Meta-unaware readers still parse meta-carrying files.
+	plain, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadCSV choked on the metadata comment: %v", err)
+	}
+	if len(plain) != len(events) {
+		t.Fatalf("ReadCSV returned %d events, want %d", len(plain), len(events))
+	}
+}
+
+// A clean export (no drops) stays byte-compatible with the pre-meta
+// format: no comment line, no otherData key.
+func TestNoDropsMeansNoMetadata(t *testing.T) {
+	events := sampleEvents()
+	var csvBuf, jsonBuf bytes.Buffer
+	if err := WriteCSVMeta(&csvBuf, events, TraceMeta{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(csvBuf.String(), "#") {
+		t.Fatal("drop-free CSV export grew a comment line")
+	}
+	if err := WriteChromeTraceMeta(&jsonBuf, events, TraceMeta{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(jsonBuf.String(), droppedKey) {
+		t.Fatalf("drop-free chrome export carries %q", droppedKey)
+	}
+	if _, meta, err := ReadCSVMeta(bytes.NewReader(csvBuf.Bytes())); err != nil || meta.Dropped != 0 {
+		t.Fatalf("clean CSV meta = (%+v, %v)", meta, err)
+	}
+}

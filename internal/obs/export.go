@@ -1,11 +1,13 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // Exporters for the event tracer.
@@ -47,6 +49,27 @@ type chromeTrace struct {
 
 func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
 
+// TraceMeta is export metadata that travels with the event stream.
+// Dropped is load-bearing: the tracer ring evicts its oldest events at
+// capacity, so a consumer reading an exported file with no drop count
+// cannot tell a complete trace from the most-recent suffix of one.
+// Both exporters embed it (Chrome otherData / a CSV comment line) and
+// the Meta readers surface it, so truncation is visible in the
+// artifact itself, not only in a stderr warning that scrolled away.
+type TraceMeta struct {
+	ThreadNames []string // per-thread track labels (index = thread id)
+	Dropped     uint64   // events evicted by ring overflow before export
+}
+
+// MetaFor assembles the export metadata for a tracer's current state.
+func MetaFor(t *Tracer, threadNames []string) TraceMeta {
+	return TraceMeta{ThreadNames: threadNames, Dropped: t.Dropped()}
+}
+
+// droppedKey is the otherData key carrying TraceMeta.Dropped in the
+// Chrome exporter.
+const droppedKey = "dropped_events"
+
 func eventArgs(ev Event) map[string]string {
 	return map[string]string{
 		"cycle":  strconv.FormatUint(ev.Cycle, 10),
@@ -62,12 +85,26 @@ func eventArgs(ev Event) map[string]string {
 // WriteChromeTrace renders events as Chrome trace_event JSON.
 // threadNames, when non-empty, labels the per-thread tracks (index =
 // thread id); it is presentation metadata and not needed to read the
-// file back.
+// file back. The export carries no drop count — prefer
+// WriteChromeTraceMeta when the events came from a tracer ring that
+// may have overflowed.
 func WriteChromeTrace(w io.Writer, events []Event, threadNames []string) error {
+	return WriteChromeTraceMeta(w, events, TraceMeta{ThreadNames: threadNames})
+}
+
+// WriteChromeTraceMeta is WriteChromeTrace carrying export metadata:
+// a non-zero meta.Dropped is embedded as otherData[droppedKey] so the
+// file itself records that it is the most-recent window of a longer
+// run, not a complete trace.
+func WriteChromeTraceMeta(w io.Writer, events []Event, meta TraceMeta) error {
+	threadNames := meta.ThreadNames
 	tr := chromeTrace{
 		DisplayTimeUnit: "ms",
 		OtherData:       map[string]string{"tool": "soesim", "clock": "1 cycle = 1us"},
 		TraceEvents:     make([]chromeEvent, 0, len(events)+len(threadNames)),
+	}
+	if meta.Dropped > 0 {
+		tr.OtherData[droppedKey] = strconv.FormatUint(meta.Dropped, 10)
 	}
 	for i, name := range threadNames {
 		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
@@ -156,33 +193,73 @@ func parseArgs(args map[string]string) (Event, error) {
 // events, skipping presentation-only records (metadata and synthesized
 // dispatch spans). Malformed input returns an error, never panics.
 func ReadChromeTrace(r io.Reader) ([]Event, error) {
+	events, _, err := ReadChromeTraceMeta(r)
+	return events, err
+}
+
+// ReadChromeTraceMeta is ReadChromeTrace that also recovers the export
+// metadata: the drop count from otherData and the thread-track labels
+// from the thread_name metadata records.
+func ReadChromeTraceMeta(r io.Reader) ([]Event, TraceMeta, error) {
+	var meta TraceMeta
 	var tr chromeTrace
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&tr); err != nil {
-		return nil, fmt.Errorf("obs: chrome trace: %w", err)
+		return nil, meta, fmt.Errorf("obs: chrome trace: %w", err)
+	}
+	if s, ok := tr.OtherData[droppedKey]; ok {
+		d, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return nil, meta, fmt.Errorf("obs: chrome trace: bad %s %q: %w", droppedKey, s, err)
+		}
+		meta.Dropped = d
 	}
 	var out []Event
 	for _, ce := range tr.TraceEvents {
-		if ce.Ph == "M" || ce.Cat == "dispatch" {
+		if ce.Ph == "M" {
+			if ce.Name == "thread_name" && ce.Tid >= 0 {
+				for len(meta.ThreadNames) <= ce.Tid {
+					meta.ThreadNames = append(meta.ThreadNames, "")
+				}
+				meta.ThreadNames[ce.Tid] = ce.Args["name"]
+			}
+			continue
+		}
+		if ce.Cat == "dispatch" {
 			continue
 		}
 		if ce.Args == nil {
-			return nil, fmt.Errorf("obs: chrome trace: event %q has no args", ce.Name)
+			return nil, meta, fmt.Errorf("obs: chrome trace: event %q has no args", ce.Name)
 		}
 		ev, err := parseArgs(ce.Args)
 		if err != nil {
-			return nil, err
+			return nil, meta, err
 		}
 		out = append(out, ev)
 	}
-	return out, nil
+	return out, meta, nil
 }
 
 // csvHeader is the column layout of the CSV exporter.
 var csvHeader = []string{"cycle", "kind", "thread", "cause", "a", "b", "n"}
 
-// WriteCSV renders events as CSV with a header row.
+// WriteCSV renders events as CSV with a header row. Prefer
+// WriteCSVMeta when the events came from a tracer ring that may have
+// overflowed, so the drop count travels with the file.
 func WriteCSV(w io.Writer, events []Event) error {
+	return WriteCSVMeta(w, events, TraceMeta{})
+}
+
+// WriteCSVMeta is WriteCSV carrying export metadata: a non-zero
+// meta.Dropped is recorded as a "# dropped=N" comment line before the
+// header. ReadCSV skips comment lines, so meta-carrying files stay
+// readable by meta-unaware consumers.
+func WriteCSVMeta(w io.Writer, events []Event, meta TraceMeta) error {
+	if meta.Dropped > 0 {
+		if _, err := fmt.Fprintf(w, "# dropped=%d\n", meta.Dropped); err != nil {
+			return err
+		}
+	}
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
 		return err
@@ -205,11 +282,44 @@ func WriteCSV(w io.Writer, events []Event) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a file written by WriteCSV back into events.
-// Malformed input returns an error, never panics.
+// ReadCSV parses a file written by WriteCSV or WriteCSVMeta back into
+// events, skipping metadata comment lines. Malformed input returns an
+// error, never panics.
 func ReadCSV(r io.Reader) ([]Event, error) {
+	events, _, err := ReadCSVMeta(r)
+	return events, err
+}
+
+// ReadCSVMeta is ReadCSV that also recovers the export metadata from
+// the leading "# dropped=N" comment (zero when absent).
+func ReadCSVMeta(r io.Reader) ([]Event, TraceMeta, error) {
+	var meta TraceMeta
+	br := bufio.NewReader(r)
+	for {
+		peek, err := br.Peek(1)
+		if err != nil || peek[0] != '#' {
+			break
+		}
+		line, err := br.ReadString('\n')
+		if err != nil && line == "" {
+			break
+		}
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(line, "#")), "dropped="); ok {
+			d, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				return nil, meta, fmt.Errorf("obs: csv: bad dropped comment %q: %w", strings.TrimSpace(line), err)
+			}
+			meta.Dropped = d
+		}
+	}
+	events, err := readCSVBody(br)
+	return events, meta, err
+}
+
+func readCSVBody(r io.Reader) ([]Event, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(csvHeader)
+	cr.Comment = '#'
 	rows, err := cr.ReadAll()
 	if err != nil {
 		return nil, fmt.Errorf("obs: csv: %w", err)

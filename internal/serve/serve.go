@@ -1,0 +1,628 @@
+// Package serve implements soeserve, the batching simulation service:
+// the experiment engine behind a bounded job queue with backpressure,
+// a request coalescer layered on the content-addressed result cache,
+// and a micro-batcher feeding a simulation worker pool.
+//
+// Request flow (DESIGN.md §11):
+//
+//	POST /v1/run ───┐
+//	POST /v1/sweep ─┴▶ coalescer ▶ bounded queue ▶ micro-batcher ▶ worker pool ▶ cache/singleflight ▶ sim
+//
+// Admission is bounded by QueueDepth accepted-but-unfinished jobs;
+// beyond that, submissions get 429 + Retry-After instead of unbounded
+// memory. Identical concurrent requests coalesce onto one job before
+// the queue, and whatever slips past the coalescer (e.g. a request
+// arriving after its twin started running) is still deduplicated by
+// the cache's singleflight layer — so N identical submissions cost one
+// simulation regardless of timing.
+//
+// Drain (SIGTERM) stops admission, finishes every accepted job, and —
+// past the drain deadline — cancels in-flight work; interrupted sweeps
+// checkpoint their completed rows and mark the result cache through
+// the internal/cli interrupt path, so a restart resumes from every
+// simulation that finished.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"soemt/internal/cli"
+	"soemt/internal/experiments"
+	"soemt/internal/obs"
+	"soemt/internal/sim"
+)
+
+// Config parameterizes a Server. The zero value gets sensible
+// defaults from withDefaults.
+type Config struct {
+	// QueueDepth bounds accepted-but-unfinished jobs (queued plus
+	// running); submissions beyond it are rejected with 429. Default 64.
+	QueueDepth int
+	// Workers bounds concurrent simulations. Default GOMAXPROCS.
+	Workers int
+	// BatchSize is the largest group of queued jobs the micro-batcher
+	// dispatches to the pool at once. Default 8.
+	BatchSize int
+	// BatchDelay is how long the batcher waits to fill a batch after
+	// the first job arrives. Default 2ms.
+	BatchDelay time.Duration
+	// CacheDir roots the persistent result cache ("" = memory-only).
+	CacheDir string
+	// TraceCap is the tracer ring capacity for trace-requesting jobs.
+	// Default 65536 events.
+	TraceCap int
+	// Logf, if non-nil, receives server log lines.
+	Logf func(format string, args ...interface{})
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 8
+	}
+	if c.BatchDelay <= 0 {
+		c.BatchDelay = 2 * time.Millisecond
+	}
+	if c.TraceCap <= 0 {
+		c.TraceCap = 1 << 16
+	}
+	return c
+}
+
+var (
+	errQueueFull = errors.New("serve: queue full")
+	errDraining  = errors.New("serve: draining")
+)
+
+// Server is the soeserve engine. Construct with NewServer; all methods
+// are safe for concurrent use.
+type Server struct {
+	cfg   Config
+	cache *experiments.Cache
+	reg   *obs.Registry
+
+	queue chan *job
+	sem   chan struct{} // worker-pool slots
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	active   map[string]*job // coalescing key -> non-terminal job
+	runners  map[string]*experiments.Runner
+	pending  int // accepted, not yet terminal
+	draining bool
+	seq      int
+
+	jobWG sync.WaitGroup // accepted jobs
+	wg    sync.WaitGroup // dispatcher
+
+	baseCtx    context.Context // governs job execution (not tied to any request)
+	cancelJobs context.CancelFunc
+
+	coalescedC *obs.Counter
+	acceptedC  *obs.Counter
+	rejectedC  *obs.Counter
+	completedC *obs.Counter
+	failedC    *obs.Counter
+	batchesC   *obs.Counter
+	qWaitTotal *obs.Counter
+	qDepth     *obs.Gauge
+	qCap       *obs.Gauge
+	qWaitLast  *obs.Gauge
+	batchLast  *obs.Gauge
+	pendingG   *obs.Gauge
+}
+
+// NewServer builds the server, its shared result cache, and starts
+// the batch dispatcher. Stop it with Drain.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	cache, err := experiments.NewCache(cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	reg := cache.Observability()
+	baseCtx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		cache:      cache,
+		reg:        reg,
+		queue:      make(chan *job, cfg.QueueDepth),
+		sem:        make(chan struct{}, cfg.Workers),
+		jobs:       make(map[string]*job),
+		active:     make(map[string]*job),
+		runners:    make(map[string]*experiments.Runner),
+		baseCtx:    baseCtx,
+		cancelJobs: cancel,
+
+		coalescedC: reg.Counter("serve.coalesced"),
+		acceptedC:  reg.Counter("serve.jobs_accepted"),
+		rejectedC:  reg.Counter("serve.jobs_rejected"),
+		completedC: reg.Counter("serve.jobs_completed"),
+		failedC:    reg.Counter("serve.jobs_failed"),
+		batchesC:   reg.Counter("serve.batches"),
+		qWaitTotal: reg.Counter("serve.queue.wait_us_total"),
+		qDepth:     reg.Gauge("serve.queue.depth"),
+		qCap:       reg.Gauge("serve.queue.capacity"),
+		qWaitLast:  reg.Gauge("serve.queue.wait_last_us"),
+		batchLast:  reg.Gauge("serve.batch.last_size"),
+		pendingG:   reg.Gauge("serve.jobs.pending"),
+	}
+	cache.Logf = s.logf
+	s.qCap.Set(int64(cfg.QueueDepth))
+	s.wg.Add(1)
+	go s.dispatch()
+	return s, nil
+}
+
+// Cache exposes the server's shared result cache (resume notes,
+// test stubbing via SetRunFunc).
+func (s *Server) Cache() *experiments.Cache { return s.cache }
+
+// Observability returns the registry behind /metrics.
+func (s *Server) Observability() *obs.Registry { return s.reg }
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// submit runs admission control under one lock acquisition: reject
+// while draining, coalesce onto a live identical job, enforce the
+// pending bound, otherwise register and enqueue. The channel send
+// cannot block: pending ≤ QueueDepth bounds the jobs that can be in
+// the channel, which has exactly that capacity.
+func (s *Server) submit(j *job) (*job, bool, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, false, errDraining
+	}
+	if prev, ok := s.active[j.key]; ok {
+		prev.mu.Lock()
+		prev.coalesced++
+		prev.mu.Unlock()
+		s.mu.Unlock()
+		s.coalescedC.Inc()
+		return prev, true, nil
+	}
+	if s.pending >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		s.rejectedC.Inc()
+		return nil, false, errQueueFull
+	}
+	s.seq++
+	j.id = fmt.Sprintf("job-%06d", s.seq)
+	j.state = StateQueued
+	j.created = time.Now()
+	s.jobs[j.id] = j
+	s.active[j.key] = j
+	s.pending++
+	s.jobWG.Add(1)
+	s.queue <- j
+	pending := s.pending
+	s.mu.Unlock()
+
+	s.acceptedC.Inc()
+	s.pendingG.Set(int64(pending))
+	s.qDepth.Set(int64(len(s.queue)))
+	return j, false, nil
+}
+
+// dispatch is the micro-batcher: it collects up to BatchSize queued
+// jobs (waiting at most BatchDelay after the first) and hands the
+// batch to the worker pool. Grouping lets a burst of identical or
+// related specs reach the cache's singleflight layer together instead
+// of trickling in one scheduler wakeup at a time.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	for {
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := []*job{first}
+		timer := time.NewTimer(s.cfg.BatchDelay)
+	fill:
+		for len(batch) < s.cfg.BatchSize {
+			select {
+			case j, ok := <-s.queue:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, j)
+			case <-timer.C:
+				break fill
+			}
+		}
+		timer.Stop()
+		s.batchesC.Inc()
+		s.batchLast.Set(int64(len(batch)))
+		s.qDepth.Set(int64(len(s.queue)))
+		for _, j := range batch {
+			j := j
+			go func() {
+				s.sem <- struct{}{}
+				defer func() { <-s.sem }()
+				s.execute(j)
+			}()
+		}
+	}
+}
+
+func (s *Server) execute(j *job) {
+	j.mu.Lock()
+	wait := time.Since(j.created)
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	s.qWaitLast.Set(wait.Microseconds())
+	s.qWaitTotal.Add(uint64(wait.Microseconds()))
+
+	var result any
+	var err error
+	switch j.kind {
+	case "run":
+		result, err = s.executeRun(j)
+	case "sweep":
+		result, err = s.executeSweep(j)
+	default:
+		err = fmt.Errorf("serve: unknown job kind %q", j.kind)
+	}
+	s.finish(j, result, err)
+}
+
+// finish moves j to its terminal state and releases its admission
+// slot. Interrupted jobs (drain deadline cancelled them) keep any
+// partial result attached.
+func (s *Server) finish(j *job, result any, err error) {
+	state := StateDone
+	var msg string
+	if err != nil {
+		msg = err.Error()
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			state = StateInterrupted
+		} else {
+			state = StateFailed
+		}
+	}
+	j.mu.Lock()
+	j.state = state
+	j.errMsg = msg
+	j.result = result
+	j.finished = time.Now()
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	if s.active[j.key] == j {
+		delete(s.active, j.key)
+	}
+	s.pending--
+	pending := s.pending
+	s.mu.Unlock()
+	s.pendingG.Set(int64(pending))
+	if state == StateDone {
+		s.completedC.Inc()
+	} else {
+		s.failedC.Inc()
+		s.logf("job %s %s: %s", j.id, state, msg)
+	}
+	s.jobWG.Done()
+}
+
+func (s *Server) executeRun(j *job) (any, error) {
+	spec := j.spec
+	var res *sim.Result
+	var err error
+	if j.tracer != nil {
+		// A live tracer requires an actual simulation — a cache hit
+		// would skip it and record nothing — so traced jobs bypass the
+		// cache entirely, mirroring soesim -trace-events (DESIGN.md
+		// §10 "cache hits record nothing").
+		spec.Obs = &obs.Observer{Trace: j.tracer, Metrics: s.reg}
+		res, err = s.cache.RunSpecFresh(s.baseCtx, spec)
+	} else {
+		res, err = s.cache.RunSpecContext(s.baseCtx, spec)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return runResultFrom(j.fingerprint, res), nil
+}
+
+func (s *Server) executeSweep(j *job) (any, error) {
+	r, err := s.runnerFor(j.sweep.Scale)
+	if err != nil {
+		return nil, err
+	}
+	out := &SweepResult{}
+	if len(j.sweep.Pairs) == 0 {
+		// Full matrix: the pooled RunAll path distributes the 16 pairs
+		// across the runner's workers.
+		prs, err := r.RunAllContext(s.baseCtx)
+		for _, pr := range prs {
+			if pr != nil {
+				out.Rows = append(out.Rows, rowFrom(pr))
+			}
+		}
+		if err != nil {
+			return s.checkpointSweep(j, out, err)
+		}
+		// A completed full matrix supersedes any interrupt marker left
+		// by an earlier cut-short sweep over this cache directory.
+		cli.ClearInterrupted("soeserve", s.cache)
+		return out, nil
+	}
+	for _, name := range j.sweep.Pairs {
+		a, b, err := splitPair(name)
+		if err != nil {
+			return out, err
+		}
+		pr, err := r.RunPairContext(s.baseCtx, experiments.Pair{A: a.Name, B: b.Name})
+		if err != nil {
+			return s.checkpointSweep(j, out, err)
+		}
+		out.Rows = append(out.Rows, rowFrom(pr))
+	}
+	return out, nil
+}
+
+// checkpointSweep finalizes an interrupted or failed sweep: the rows
+// completed so far stay attached to the job, and a drain cancellation
+// additionally marks the result cache through the cli interrupt path,
+// so the next process over the same cache directory resumes from
+// every simulation that finished.
+func (s *Server) checkpointSweep(j *job, out *SweepResult, err error) (any, error) {
+	out.Incomplete = true
+	out.Note = err.Error()
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		cli.MarkInterrupted("soeserve", s.cache, "drain cancelled "+j.id)
+	}
+	return out, err
+}
+
+// runnerFor returns the per-scale runner, creating it over the shared
+// cache on first use.
+func (s *Server) runnerFor(scaleName string) (*experiments.Runner, error) {
+	key := scaleName
+	if key == "" {
+		key = "quick"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.runners[key]; ok {
+		return r, nil
+	}
+	sc, err := scaleByName(key)
+	if err != nil {
+		return nil, err
+	}
+	r := experiments.NewRunnerWith(experiments.Options{
+		Machine:    sim.DefaultMachine(),
+		Scale:      sc,
+		SameOffset: sameOffset(sc),
+	}, s.cache)
+	r.Workers = s.cfg.Workers
+	s.runners[key] = r
+	return r, nil
+}
+
+// job looks a job up by id.
+func (s *Server) job(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// isDraining reports whether admission has been closed.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// WaitIdle blocks until every accepted job has reached a terminal
+// state. Drain uses it; tests use it to settle the pipeline without
+// polling.
+func (s *Server) WaitIdle() { s.jobWG.Wait() }
+
+// Drain stops accepting new jobs and waits for every accepted job to
+// reach a terminal state: zero accepted-but-lost work. If ctx expires
+// first, in-flight execution is cancelled — running jobs finish in
+// state "interrupted", sweeps checkpoint completed rows and mark the
+// cache — and Drain still waits for them to settle. It returns nil on
+// a clean drain and ctx.Err() when the deadline forced cancellation.
+// Safe to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(idle)
+	}()
+	var err error
+	select {
+	case <-idle:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancelJobs()
+		<-idle
+	}
+	if !already {
+		// No submitter can be mid-send: sends happen under mu after the
+		// draining check, and draining has been set.
+		close(s.queue)
+	}
+	s.wg.Wait()
+	return err
+}
+
+// ---- HTTP layer ----
+
+// Handler returns the service mux:
+//
+//	POST /v1/run             submit one simulation
+//	POST /v1/sweep           submit a pair × F-level matrix
+//	GET  /v1/jobs/{id}       job status + result
+//	GET  /v1/jobs/{id}/trace Chrome-format event trace (when recorded)
+//	GET  /healthz            liveness + drain state
+//	GET  /metrics            text dump of the obs registry
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// accept submits j and renders the admission outcome: 202 with the
+// job handle (shared with earlier identical requests when coalesced),
+// 429 + Retry-After on a full queue, 503 while draining.
+func (s *Server) accept(w http.ResponseWriter, j *job) {
+	acc, coalesced, err := s.submit(j)
+	switch {
+	case errors.Is(err, errDraining):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"queue full (%d jobs pending); retry later", s.cfg.QueueDepth)
+	default:
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"id":        acc.id,
+			"state":     acc.snapshotState(),
+			"coalesced": coalesced,
+			"url":       "/v1/jobs/" + acc.id,
+		})
+	}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var rq RunRequest
+	if !decode(w, r, &rq) {
+		return
+	}
+	spec, names, err := rq.buildSpec()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	fp, err := experiments.Fingerprint(spec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "fingerprint: %v", err)
+		return
+	}
+	j := &job{
+		kind:        "run",
+		key:         fp,
+		fingerprint: fp,
+		threadNames: names,
+		run:         rq,
+		spec:        spec,
+	}
+	if rq.Trace {
+		// Traced and untraced twins must not coalesce: the untraced job
+		// would record nothing.
+		j.key = fp + "|trace"
+		j.tracer = obs.NewTracer(s.cfg.TraceCap)
+	}
+	s.accept(w, j)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var rq SweepRequest
+	if !decode(w, r, &rq) {
+		return
+	}
+	if err := rq.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.accept(w, &job{kind: "sweep", key: rq.sweepKey(), sweep: rq})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	tr := j.traceReady()
+	if tr == nil {
+		writeError(w, http.StatusNotFound,
+			"no trace for job %s: request it with \"trace\": true and note that cache hits skip the simulation and record nothing", j.id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := obs.WriteChromeTraceMeta(w, tr.Events(), obs.MetaFor(tr, j.threadNames)); err != nil {
+		s.logf("trace export for %s: %v", j.id, err)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": false, "draining": true})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "draining": false})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.qDepth.Set(int64(len(s.queue)))
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if _, err := s.reg.WriteTo(w); err != nil {
+		s.logf("metrics dump: %v", err)
+	}
+}

@@ -321,6 +321,11 @@ func RunContext(ctx context.Context, spec Spec) (res *Result, err error) {
 		})
 		reg.Counter("sim.runs").Inc()
 		reg.Counter("sim.wall_cycles").Add(cycles)
+		// Ring overflow is otherwise invisible outside the tracer itself;
+		// the registry makes silent trace truncation a counted event.
+		if d := tracer.Dropped(); d > 0 {
+			reg.Counter("trace.dropped").Add(d)
+		}
 	}
 	return res, nil
 }

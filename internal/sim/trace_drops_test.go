@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"testing"
+
+	"soemt/internal/core"
+	"soemt/internal/obs"
+	"soemt/internal/workload"
+)
+
+// Regression: ring overflow in the event tracer used to be visible
+// only through Tracer.Dropped() — nothing in the metrics registry
+// recorded it, so a run whose trace silently truncated looked clean in
+// every dump. The drop count must now land in trace.dropped.
+func TestTracerDropsCountedInRegistry(t *testing.T) {
+	m := DefaultMachine()
+	m.Controller.Policy = core.Fairness{F: 1}
+	m.Controller.Delta = 20_000
+	m.Controller.MaxCyclesQuota = 5_000
+	spec := Spec{
+		Machine: m,
+		Threads: []ThreadSpec{
+			{Profile: workload.MustByName("gcc"), Slot: 0},
+			{Profile: workload.MustByName("eon"), Slot: 1},
+		},
+		Scale: Scale{CacheWarm: 40_000, Warm: 20_000, Measure: 120_000, MaxCycles: 10_000_000},
+	}
+	// A 4-slot ring cannot hold the run's switch stream: overflow is
+	// certain, deterministically.
+	tracer := obs.NewTracer(4)
+	reg := obs.NewRegistry()
+	spec.Obs = &obs.Observer{Trace: tracer, Metrics: reg}
+	if _, err := Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if tracer.Dropped() == 0 {
+		t.Fatal("test premise broken: a 4-slot ring did not overflow")
+	}
+	if got := reg.Counter("trace.dropped").Load(); got != tracer.Dropped() {
+		t.Fatalf("registry trace.dropped = %d, tracer dropped %d", got, tracer.Dropped())
+	}
+}
+
+// A run whose ring does not overflow must not register the counter
+// value (zero drops stay zero).
+func TestTracerNoDropsNoCount(t *testing.T) {
+	m := DefaultMachine()
+	m.Controller.Policy = core.EventOnly{}
+	spec := Spec{
+		Machine: m,
+		Threads: []ThreadSpec{{Profile: workload.MustByName("gcc"), Slot: 0}},
+		Scale:   Scale{CacheWarm: 20_000, Warm: 10_000, Measure: 40_000, MaxCycles: 10_000_000},
+	}
+	tracer := obs.NewTracer(0)
+	reg := obs.NewRegistry()
+	spec.Obs = &obs.Observer{Trace: tracer, Metrics: reg}
+	if _, err := Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if tracer.Dropped() != 0 {
+		t.Fatalf("default-capacity ring dropped %d events at this scale", tracer.Dropped())
+	}
+	if got := reg.Counter("trace.dropped").Load(); got != 0 {
+		t.Fatalf("trace.dropped = %d for a drop-free run", got)
+	}
+}
