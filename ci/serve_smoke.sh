@@ -82,6 +82,59 @@ if [ "$dups" != 24 ]; then
     exit 1
 fi
 
+# --- fast tier (DESIGN.md §12) -------------------------------------
+# A burst of tier=fast submissions on a never-simulated pair must be
+# answered synchronously from the calibrated model: analytical
+# fidelity, sub-millisecond on average, and zero new engine runs.
+runs_before=$(metric runner.runs_started)
+for i in $(seq 1 20); do
+    body=$(curl -fsS -X POST "http://$ADDR/v1/run" \
+        -d '{"pair":"swim:mcf","f":0.5,"scale":"tiny","tier":"fast"}')
+    if ! echo "$body" | grep -q '"fidelity": "analytical"'; then
+        echo "serve_smoke: FAIL — fast answer lacks analytical fidelity: $body" >&2
+        exit 1
+    fi
+done
+runs_now=$(metric runner.runs_started)
+if [ "${runs_now:-0}" != "${runs_before:-0}" ]; then
+    echo "serve_smoke: FAIL — tier=fast started $((runs_now - runs_before)) simulations" >&2
+    exit 1
+fi
+fast_answers=$(metric serve.fast.answers)
+fast_us=$(metric serve.fast.latency_us_total)
+avg_us=$(awk -v t="${fast_us:-0}" -v n="${fast_answers:-1}" 'BEGIN{printf "%.0f", t/n}')
+echo "serve_smoke: fast answers=$fast_answers avg latency ${avg_us}us"
+if [ "$avg_us" -ge 1000 ]; then
+    echo "serve_smoke: FAIL — fast tier averaged ${avg_us}us per answer, want sub-millisecond" >&2
+    exit 1
+fi
+
+# tier=auto refines in place: the 202 carries the analytical answer,
+# the job flips to exact fidelity once the one (and only one) real
+# simulation lands.
+body=$(curl -fsS -X POST "http://$ADDR/v1/run" \
+    -d '{"pair":"swim:mcf","f":1,"scale":"tiny","tier":"auto"}')
+if ! echo "$body" | grep -q '"fidelity": "analytical"'; then
+    echo "serve_smoke: FAIL — auto 202 lacks the analytical fast answer: $body" >&2
+    exit 1
+fi
+job=$(echo "$body" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+for i in $(seq 1 240); do
+    jb=$(curl -fsS "http://$ADDR/v1/jobs/$job")
+    echo "$jb" | grep -q '"state": "done"' && break
+    sleep 0.5
+done
+if ! echo "$jb" | grep -q '"fidelity": "exact"'; then
+    echo "serve_smoke: FAIL — auto job $job never refined to exact fidelity: $jb" >&2
+    exit 1
+fi
+runs_refined=$(metric runner.runs_started)
+if [ "${runs_refined:-0}" != "$((runs_before + 1))" ]; then
+    echo "serve_smoke: FAIL — auto refinement ran $((runs_refined - runs_before)) simulations, want 1" >&2
+    exit 1
+fi
+echo "serve_smoke: fast tier OK (auto job $job refined analytical -> exact)"
+
 # Submit fresh work and SIGTERM while it may still be in flight: the
 # drain must finish every accepted job and report zero loss.
 (

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"soemt/internal/cli"
+	"soemt/internal/model"
 	"soemt/internal/serve"
 )
 
@@ -38,17 +39,34 @@ func main() {
 		cacheDir     = flag.String("cache-dir", "", "persistent result cache directory (content-addressed; see DESIGN.md)")
 		traceCap     = flag.Int("trace-cap", 1<<16, "event-tracer ring capacity for trace-requesting jobs")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "max time to finish accepted jobs on shutdown before cancelling them")
+		tier         = flag.String("tier", "auto", "default serving tier when requests leave it unset: fast (calibrated model, synchronous), exact (cycle-accurate job), or auto (fast answer + exact refinement)")
+		calibration  = flag.String("calibration", "", "calibration table for the fast tier (soesim -calibrate output; default: profile-derived fit with wide error bars)")
+		jobRetention = flag.Duration("job-retention", time.Hour, "how long terminal jobs stay queryable on /v1/jobs before eviction (410 Gone); negative keeps them until the size bound")
+		maxJobs      = flag.Int("max-jobs", 1024, "max retained terminal jobs regardless of age")
 	)
 	flag.Parse()
 
+	var cal *model.Calibration
+	if *calibration != "" {
+		var err error
+		if cal, err = model.LoadCalibration(*calibration); err != nil {
+			fatal(err)
+		}
+		log.Printf("soeserve: fast tier calibrated from %s (%s, bars ±%.1f%% IPC / ±%.2f fairness)",
+			*calibration, cal.Source, cal.ErrIPCPc, cal.ErrFairness)
+	}
 	srv, err := serve.NewServer(serve.Config{
-		QueueDepth: *queueDepth,
-		Workers:    *workers,
-		BatchSize:  *batchSize,
-		BatchDelay: *batchDelay,
-		CacheDir:   *cacheDir,
-		TraceCap:   *traceCap,
-		Logf:       log.Printf,
+		QueueDepth:      *queueDepth,
+		Workers:         *workers,
+		BatchSize:       *batchSize,
+		BatchDelay:      *batchDelay,
+		CacheDir:        *cacheDir,
+		TraceCap:        *traceCap,
+		DefaultTier:     *tier,
+		Calibration:     cal,
+		JobRetention:    *jobRetention,
+		MaxTerminalJobs: *maxJobs,
+		Logf:            log.Printf,
 	})
 	if err != nil {
 		fatal(err)

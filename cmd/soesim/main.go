@@ -16,6 +16,10 @@
 //	soesim -threads gcc,eon -trace-events t.json -obs-metrics
 //	                                             # cycle-level event trace
 //	                                             # (chrome://tracing) + registry dump
+//	soesim -threads gcc,eon -F 1 -model          # calibrated analytical answer
+//	                                             # (microseconds, error bars, no sim)
+//	soesim -threads gcc,eon -calibrate cal.json  # fit + persist a calibration
+//	soesim -threads gcc,eon -model -calibration cal.json -json
 package main
 
 import (
@@ -63,8 +67,24 @@ func main() {
 		traceOut   = flag.String("trace-events", "", "write a Chrome trace_event JSON of the run to this file (open in chrome://tracing or Perfetto); forces a fresh simulation, bypassing the result cache")
 		traceCSV   = flag.String("trace-csv", "", "write the raw controller event stream as CSV to this file; forces a fresh simulation, bypassing the result cache")
 		obsMetrics = flag.Bool("obs-metrics", false, "dump the observability metrics registry (switch causes, skip cycles, pipeline and cache counters) to stderr on exit")
+		modelOut   = flag.Bool("model", false, "answer from the calibrated analytical model instead of simulating (honors -threads, -F, -timeshare, -json)")
+		calFile    = flag.String("calibration", "", "calibration table for -model (default: profile-derived fit with wide error bars)")
+		calOut     = flag.String("calibrate", "", "fit a calibration table against the engine and write it to this file (uses -threads a,b as the replay pair, or the full matrix)")
 	)
 	flag.Parse()
+
+	if *calOut != "" {
+		if err := runCalibrate(*calOut, *threadsArg, *scaleArg); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *modelOut {
+		if err := runModel(*threadsArg, *fArg, *timeshare, *calFile, *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	scale, err := parseScale(*scaleArg)
 	if err != nil {

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"context"
+	"math"
+
+	"soemt/internal/model"
+	"soemt/internal/sim"
+	"soemt/internal/workload"
+)
+
+// Calibration of the analytical model against the cycle-accurate
+// engine (the fast tier's observe–predict–calibrate loop):
+//
+//  1. ThreadParams are fitted per profile by inverting Eq. 1 on the
+//     counters of its single-thread reference run.
+//  2. The effective Switch_lat — pipeline drain plus refill ramp,
+//     which no single counter exposes — is chosen by grid search to
+//     minimize the model-vs-simulation residual over the replayed
+//     pairs at every enforcement level.
+//  3. The surviving worst-case residuals become the table's error
+//     bars, so a fast-tier answer always carries the empirically
+//     observed uncertainty of the model that produced it.
+
+// Error-bar floors: simulation noise at small scales makes residuals
+// jitter between calibration runs, so bars are never reported tighter
+// than this even when the replay happened to land closer.
+const (
+	minErrIPCPc    = 2.0
+	minErrFairness = 0.02
+)
+
+// Profile-derived fallback bars: with no simulation behind the fit,
+// the heuristics below are only ballpark-accurate.
+const (
+	profileErrIPCPc    = 50.0
+	profileErrFairness = 0.5
+)
+
+// defaultSwitchLat is the effective switch overhead assumed when no
+// simulation is available to fit it: the paper's representative value
+// (Example 2 uses 25 cycles — pipeline drain plus refill).
+const defaultSwitchLat = 25
+
+// Calibrate fits a model.Calibration against the engine by replaying
+// the given pairs (nil = the full 16-pair matrix) through r. All
+// simulations go through the runner's cache, so calibrating over pairs
+// that already ran — e.g. the golden suite — costs no extra engine
+// time.
+func Calibrate(ctx context.Context, r *Runner, pairs []Pair) (*model.Calibration, error) {
+	if len(pairs) == 0 {
+		pairs = Pairs()
+	}
+	missLat := r.Opts.Machine.Controller.MissLat
+
+	threads := make(map[string]model.ThreadParams)
+	runs := make([]*PairRun, 0, len(pairs))
+	for _, p := range pairs {
+		pr, err := r.RunPairContext(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, pr)
+		for i, name := range []string{p.A, p.B} {
+			if _, ok := threads[name]; ok {
+				continue
+			}
+			c := pr.STRuns[i].Threads[0].Counters
+			tp, err := model.FitThread(name, c.Instrs, c.Cycles, c.Misses, missLat)
+			if err != nil {
+				return nil, err
+			}
+			threads[name] = tp
+		}
+	}
+
+	// Grid-search the effective Switch_lat from the bare drain length
+	// upward. The score sums relative IPC error and absolute fairness
+	// error so neither dimension is fitted at the other's expense.
+	drain := float64(r.Opts.Machine.Controller.DrainCycles)
+	bestSL, bestScore := drain, math.Inf(1)
+	for sl := drain; sl <= drain+64; sl += 2 {
+		res, err := residuals(runs, threads, missLat, sl)
+		if err != nil {
+			return nil, err
+		}
+		var score float64
+		for _, pt := range res {
+			score += pt.IPCErrPc()/100 + pt.FairnessErr()
+		}
+		if score < bestScore {
+			bestScore, bestSL = score, sl
+		}
+	}
+
+	res, err := residuals(runs, threads, missLat, bestSL)
+	if err != nil {
+		return nil, err
+	}
+	errIPC, errFair := minErrIPCPc, minErrFairness
+	for _, pt := range res {
+		errIPC = math.Max(errIPC, pt.IPCErrPc())
+		errFair = math.Max(errFair, pt.FairnessErr())
+	}
+
+	cal := &model.Calibration{
+		SchemaVersion: model.CalibrationSchemaVersion,
+		Source:        model.SourceSimulation,
+		Scale:         scaleName(r.Opts.Scale),
+		MissLat:       missLat,
+		SwitchLat:     bestSL,
+		Threads:       threads,
+		Pairs:         res,
+		ErrIPCPc:      errIPC,
+		ErrFairness:   errFair,
+	}
+	if err := cal.Validate(); err != nil {
+		return nil, err
+	}
+	return cal, nil
+}
+
+// residuals replays every (pair, F) point analytically and pairs the
+// prediction with the engine's measurement.
+func residuals(runs []*PairRun, threads map[string]model.ThreadParams, missLat, switchLat float64) ([]model.PairResidual, error) {
+	var out []model.PairResidual
+	for _, pr := range runs {
+		sys := &model.System{
+			Threads:   []model.ThreadParams{threads[pr.Pair.A], threads[pr.Pair.B]},
+			MissLat:   missLat,
+			SwitchLat: switchLat,
+		}
+		for _, f := range FLevels {
+			simRes := pr.ByF[f]
+			if simRes == nil {
+				continue
+			}
+			pred, err := sys.Predict(f)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, model.PairResidual{
+				Pair:          pr.Pair.Name(),
+				F:             f,
+				ModelIPC:      pred.Total,
+				SimIPC:        simRes.IPCTotal,
+				ModelFairness: pred.Fairness,
+				SimFairness:   pr.Fairness(f),
+			})
+		}
+	}
+	return out, nil
+}
+
+// ProfileCalibration derives a calibration from the built-in workload
+// profiles alone — no simulation. The fits use the documented profile
+// heuristics (IPM ≈ 1/(FracLoad·PCold); no-miss IPC set by the
+// dependence-chain fraction), so the table is ballpark-accurate with
+// honest ±50% bars. It is the serving fallback when no fitted table is
+// supplied: a fresh soeserve can answer fast-tier requests from its
+// first millisecond.
+func ProfileCalibration(m sim.MachineConfig) (*model.Calibration, error) {
+	threads := make(map[string]model.ThreadParams)
+	for _, name := range workload.Names() {
+		p, _ := workload.ByName(name)
+		threads[name] = fitProfile(p)
+	}
+	cal := &model.Calibration{
+		SchemaVersion: model.CalibrationSchemaVersion,
+		Source:        model.SourceProfile,
+		MissLat:       m.Controller.MissLat,
+		SwitchLat:     defaultSwitchLat,
+		Threads:       threads,
+		ErrIPCPc:      profileErrIPCPc,
+		ErrFairness:   profileErrFairness,
+	}
+	if err := cal.Validate(); err != nil {
+		return nil, err
+	}
+	return cal, nil
+}
+
+// fitProfile maps profile knobs to model parameters using the
+// calibration notes in workload/profiles.go: cold loads drive L2
+// misses (ignoring MSHR coalescing), and the dependence-chain fraction
+// is the dominant ILP limiter between ~1.0 and ~2.5 IPC.
+func fitProfile(p workload.Profile) model.ThreadParams {
+	ipm := 1.0 / math.Max(p.FracLoad*p.PCold, 1e-9)
+	ipc := 2.6 / (1 + 2.2*p.ChainFrac)
+	ipc = math.Min(math.Max(ipc, 0.9), 2.5)
+	return model.ThreadParams{Name: p.Name, IPCNoMiss: ipc, IPM: ipm}
+}
+
+// scaleName maps a Scale back to its protocol name for the table
+// header ("custom" when it matches none).
+func scaleName(sc sim.Scale) string {
+	switch sc {
+	case sim.PaperScale():
+		return "paper"
+	case sim.QuickScale():
+		return "quick"
+	case tinyScale():
+		return "tiny"
+	}
+	return "custom"
+}
+
+func tinyScale() sim.Scale {
+	return sim.Scale{CacheWarm: 50_000, Warm: 50_000, Measure: 250_000, MaxCycles: 50_000_000}
+}

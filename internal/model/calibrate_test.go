@@ -1,0 +1,267 @@
+package model
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// TestFitThreadRoundTrip: counters synthesized from known parameters
+// must invert back to them exactly (Eq. 1 is closed-form).
+func TestFitThreadRoundTrip(t *testing.T) {
+	const (
+		ipcNoMiss = 2.5
+		ipm       = 15000.0
+		missLat   = 300.0
+		misses    = 100
+	)
+	instrs := uint64(ipm * misses)
+	// A single-thread run stalls in place on each miss: wall cycles are
+	// compute (CPM per miss) plus the stall.
+	cycles := uint64(misses * (ipm/ipcNoMiss + missLat))
+
+	tp, err := FitThread("synth", instrs, cycles, misses, missLat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(tp.IPM, ipm, 1e-6) {
+		t.Errorf("IPM = %v, want %v", tp.IPM, ipm)
+	}
+	if !almost(tp.IPCNoMiss, ipcNoMiss, 1e-6) {
+		t.Errorf("IPCNoMiss = %v, want %v", tp.IPCNoMiss, ipcNoMiss)
+	}
+}
+
+// TestFitThreadDegenerate: empty runs and un-invertible latencies are
+// errors, never NaN parameters.
+func TestFitThreadDegenerate(t *testing.T) {
+	if _, err := FitThread("x", 0, 0, 0, 300); err == nil {
+		t.Error("empty run must be a fitting error")
+	}
+	// Observed 10 cycles/miss with an assumed 300-cycle stall: CPM
+	// would invert negative.
+	if _, err := FitThread("x", 1000, 1000, 100, 300); err == nil {
+		t.Error("missLat exceeding observed cycles/miss must be a fitting error")
+	}
+	if _, err := FitThread("x", 1000, 1000, 0, math.NaN()); err == nil {
+		t.Error("NaN missLat must be rejected")
+	}
+	// Miss-free run: IPM defaults to instrs (one nominal miss) and the
+	// fit stays finite.
+	tp, err := FitThread("clean", 1_000_000, 500_000, 0, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Validate(); err != nil {
+		t.Fatalf("miss-free fit invalid: %v", err)
+	}
+}
+
+func testCalibration() *Calibration {
+	return &Calibration{
+		SchemaVersion: CalibrationSchemaVersion,
+		Source:        SourceSimulation,
+		Scale:         "tiny",
+		MissLat:       300,
+		SwitchLat:     25,
+		Threads: map[string]ThreadParams{
+			"thread1": {Name: "thread1", IPCNoMiss: 2.5, IPM: 15000},
+			"thread2": {Name: "thread2", IPCNoMiss: 2.5, IPM: 1000},
+		},
+		ErrIPCPc:    5,
+		ErrFairness: 0.05,
+	}
+}
+
+// TestCalibrationSaveLoadRoundTrip: a persisted table must reload to
+// identical predictions.
+func TestCalibrationSaveLoadRoundTrip(t *testing.T) {
+	cal := testCalibration()
+	path := filepath.Join(t.TempDir(), "calib.json")
+	if err := cal.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCalibration(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysA, err := cal.System("thread1", "thread2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB, err := got.System("thread1", "thread2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{0, 0.5, 1} {
+		a, errA := sysA.Predict(f)
+		b, errB := sysB.Predict(f)
+		if errA != nil || errB != nil {
+			t.Fatal(errA, errB)
+		}
+		if a.Total != b.Total || a.Fairness != b.Fairness {
+			t.Errorf("F=%v: reloaded table predicts (%v, %v), original (%v, %v)",
+				f, b.Total, b.Fairness, a.Total, a.Fairness)
+		}
+	}
+}
+
+// TestCalibrationValidation: corrupt tables are refused up front.
+func TestCalibrationValidation(t *testing.T) {
+	mut := func(f func(*Calibration)) *Calibration {
+		c := testCalibration()
+		f(c)
+		return c
+	}
+	cases := []struct {
+		name string
+		c    *Calibration
+	}{
+		{"nil", nil},
+		{"schema", mut(func(c *Calibration) { c.SchemaVersion = 99 })},
+		{"source", mut(func(c *Calibration) { c.Source = "vibes" })},
+		{"no threads", mut(func(c *Calibration) { c.Threads = nil })},
+		{"NaN thread", mut(func(c *Calibration) {
+			c.Threads["bad"] = ThreadParams{Name: "bad", IPCNoMiss: math.NaN(), IPM: 100}
+		})},
+		{"Inf IPM", mut(func(c *Calibration) {
+			c.Threads["bad"] = ThreadParams{Name: "bad", IPCNoMiss: 1, IPM: math.Inf(1)}
+		})},
+		{"negative bar", mut(func(c *Calibration) { c.ErrIPCPc = -1 })},
+		{"NaN missLat", mut(func(c *Calibration) { c.MissLat = math.NaN() })},
+	}
+	for _, tc := range cases {
+		if err := tc.c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a corrupt table", tc.name)
+		}
+	}
+	if err := testCalibration().Validate(); err != nil {
+		t.Errorf("healthy table rejected: %v", err)
+	}
+	if _, err := testCalibration().System("nope"); err == nil {
+		t.Error("System must refuse unknown thread names")
+	}
+}
+
+// TestPredictNeverEmitsNonFinite is the table-driven degenerate-input
+// guard (the internal/stats EstIPCST pattern at the model boundary):
+// inputs that are structurally odd but valid must produce fully finite
+// predictions, and non-finite parameters must be rejected by
+// validation instead of surfacing as NaN in a result that would reach
+// JSON encoding.
+func TestPredictNeverEmitsNonFinite(t *testing.T) {
+	finiteAll := func(t *testing.T, p *Prediction) {
+		t.Helper()
+		check := func(label string, vs ...float64) {
+			for _, v := range vs {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("%s carries non-finite value %v", label, v)
+				}
+			}
+		}
+		check("Total/Fairness", p.Total, p.Fairness)
+		check("IPSw", p.IPSw...)
+		check("CPSw", p.CPSw...)
+		check("IPCSOE", p.IPCSOE...)
+		check("IPCST", p.IPCST...)
+		check("Speedup", p.Speedup...)
+		check("Slowdown", p.Slowdown...)
+	}
+
+	valid := []struct {
+		name string
+		sys  *System
+		f    float64
+	}{
+		{"tiny F", Example2System(), 1e-12},
+		{"switchlat zero", &System{
+			Threads: []ThreadParams{
+				{Name: "a", IPCNoMiss: 2.5, IPM: 15000},
+				{Name: "b", IPCNoMiss: 2.5, IPM: 1000},
+			},
+			MissLat: 300, SwitchLat: 0,
+		}, 1},
+		{"single thread", &System{
+			Threads: []ThreadParams{{Name: "solo", IPCNoMiss: 1.2, IPM: 900}},
+			MissLat: 300, SwitchLat: 25,
+		}, 0},
+		{"misslat zero", &System{
+			Threads: []ThreadParams{
+				{Name: "a", IPCNoMiss: 1, IPM: 100},
+				{Name: "b", IPCNoMiss: 1, IPM: 100},
+			},
+			MissLat: 0, SwitchLat: 0,
+		}, 0.5},
+		{"extreme IPM ratio", &System{
+			Threads: []ThreadParams{
+				{Name: "a", IPCNoMiss: 2.5, IPM: 1e9},
+				{Name: "b", IPCNoMiss: 0.9, IPM: 10},
+			},
+			MissLat: 300, SwitchLat: 25,
+		}, 1},
+	}
+	for _, tc := range valid {
+		p, err := tc.sys.Predict(tc.f)
+		if err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+			continue
+		}
+		finiteAll(t, p)
+		if d, err := tc.sys.ThroughputDelta(tc.f); err != nil {
+			t.Errorf("%s: ThroughputDelta error %v", tc.name, err)
+		} else if math.IsNaN(d) || math.IsInf(d, 0) {
+			t.Errorf("%s: ThroughputDelta = %v", tc.name, d)
+		}
+		if len(tc.sys.Threads) >= 2 {
+			if fair, sp, err := tc.sys.TimeShareFairness(400); err != nil {
+				t.Errorf("%s: TimeShareFairness error %v", tc.name, err)
+			} else {
+				finiteAll(t, &Prediction{Speedup: sp, Fairness: fair})
+			}
+		}
+	}
+
+	// Non-finite parameters: rejected, not propagated. Before the
+	// validation hardening a NaN IPM passed (NaN <= 0 is false) and an
+	// Inf IPM produced IPCST = Inf/Inf = NaN in the prediction.
+	invalid := []*System{
+		{Threads: []ThreadParams{
+			{Name: "nan", IPCNoMiss: 2.5, IPM: math.NaN()},
+			{Name: "ok", IPCNoMiss: 2.5, IPM: 1000},
+		}, MissLat: 300, SwitchLat: 25},
+		{Threads: []ThreadParams{
+			{Name: "inf", IPCNoMiss: 2.5, IPM: math.Inf(1)},
+			{Name: "ok", IPCNoMiss: 2.5, IPM: 1000},
+		}, MissLat: 300, SwitchLat: 25},
+		{Threads: []ThreadParams{
+			{Name: "nan-ipc", IPCNoMiss: math.NaN(), IPM: 1000},
+		}, MissLat: 300, SwitchLat: 25},
+		{Threads: []ThreadParams{
+			{Name: "ok", IPCNoMiss: 2.5, IPM: 1000},
+			{Name: "ok2", IPCNoMiss: 2.5, IPM: 1000},
+		}, MissLat: math.NaN(), SwitchLat: 25},
+		{Threads: []ThreadParams{
+			{Name: "ok", IPCNoMiss: 2.5, IPM: 1000},
+			{Name: "ok2", IPCNoMiss: 2.5, IPM: 1000},
+		}, MissLat: 300, SwitchLat: math.Inf(1)},
+	}
+	for i, sys := range invalid {
+		if _, err := sys.Predict(1); err == nil {
+			t.Errorf("invalid system %d: Predict accepted non-finite parameters", i)
+		}
+		if _, err := sys.ThroughputDelta(1); err == nil {
+			t.Errorf("invalid system %d: ThroughputDelta accepted non-finite parameters", i)
+		}
+	}
+}
+
+// TestFairnessOfNonFinite: a non-finite speedup degrades fairness to
+// 0, the same convention internal/stats uses for degenerate counters.
+func TestFairnessOfNonFinite(t *testing.T) {
+	if got := fairnessOf([]float64{math.NaN(), 1}); got != 0 {
+		t.Errorf("fairnessOf(NaN, 1) = %v, want 0", got)
+	}
+	if got := fairnessOf([]float64{math.Inf(1), 1}); got != 0 {
+		t.Errorf("fairnessOf(+Inf, 1) = %v, want 0", got)
+	}
+}

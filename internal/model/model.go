@@ -22,16 +22,22 @@ type ThreadParams struct {
 	IPM       float64 // instructions per last-level cache miss
 }
 
-// Validate reports parameter errors.
+// Validate reports parameter errors. Non-finite values are rejected
+// explicitly: NaN compares false against every bound, so without the
+// finiteness check a NaN IPM would slip through and poison every
+// downstream prediction.
 func (t ThreadParams) Validate() error {
-	if t.IPCNoMiss <= 0 {
-		return fmt.Errorf("model: %s: IPCNoMiss must be positive", t.Name)
+	if !finite(t.IPCNoMiss) || t.IPCNoMiss <= 0 {
+		return fmt.Errorf("model: %s: IPCNoMiss must be positive and finite, got %v", t.Name, t.IPCNoMiss)
 	}
-	if t.IPM <= 0 {
-		return fmt.Errorf("model: %s: IPM must be positive", t.Name)
+	if !finite(t.IPM) || t.IPM <= 0 {
+		return fmt.Errorf("model: %s: IPM must be positive and finite, got %v", t.Name, t.IPM)
 	}
 	return nil
 }
+
+// finite reports whether v is neither NaN nor ±Inf.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // CPM returns cycles per miss excluding the miss stall: IPM/IPCNoMiss.
 func (t ThreadParams) CPM() float64 { return t.IPM / t.IPCNoMiss }
@@ -54,8 +60,9 @@ func (s *System) Validate() error {
 	if len(s.Threads) == 0 {
 		return fmt.Errorf("model: no threads")
 	}
-	if s.MissLat < 0 || s.SwitchLat < 0 {
-		return fmt.Errorf("model: negative latency")
+	if !finite(s.MissLat) || !finite(s.SwitchLat) || s.MissLat < 0 || s.SwitchLat < 0 {
+		return fmt.Errorf("model: latencies must be finite and non-negative (MissLat=%v SwitchLat=%v)",
+			s.MissLat, s.SwitchLat)
 	}
 	for _, t := range s.Threads {
 		if err := t.Validate(); err != nil {
@@ -137,14 +144,16 @@ func (s *System) Predict(f float64) (*Prediction, error) {
 	return p, nil
 }
 
-// fairnessOf is Eq. 4: min over pairs of speedup ratios.
+// fairnessOf is Eq. 4: min over pairs of speedup ratios. Degenerate
+// inputs (non-positive or non-finite speedups) yield 0 rather than a
+// NaN that would otherwise flow to JSON boundaries.
 func fairnessOf(speedups []float64) float64 {
 	if len(speedups) < 2 {
 		return 1
 	}
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, s := range speedups {
-		if s <= 0 {
+		if !finite(s) || s <= 0 {
 			return 0
 		}
 		lo = math.Min(lo, s)
@@ -166,32 +175,55 @@ func (s *System) ThroughputDelta(f float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	// Validate guarantees positive finite parameters, which makes
+	// base.Total positive — but guard the division anyway so a future
+	// degenerate path can never emit NaN/Inf from here.
+	if !finite(base.Total) || base.Total <= 0 {
+		return 0, fmt.Errorf("model: degenerate baseline throughput %v", base.Total)
+	}
 	return (enforced.Total - base.Total) / base.Total, nil
 }
 
 // TimeShareFairness predicts the achieved fairness of simple time
-// sharing with equal per-thread cycle quotas (the §6 discussion):
-// each thread runs quotaCycles between switches regardless of its
-// characteristics, so thread j executes quotaCycles·IPC_no_miss_j
-// instructions per round.
+// sharing with equal per-thread cycle quotas (the §6 discussion). The
+// baseline keeps the SOE switch-on-event core and merely caps how long
+// a thread may stay resident, so a visit ends at whichever comes
+// first: the cycle quota, or the thread's next last-level miss. Thread
+// j therefore occupies the core for
+//
+//	visit_j = min(quotaCycles, CPM_j)
+//
+// cycles per round, retiring visit_j · IPC_no_miss_j instructions, and
+// one round is Σ_k (visit_k + Switch_lat).
+//
+// The previous formulation assumed every thread used its full quota
+// (round = n·(quota+Switch_lat)) and credited a missy thread with
+// ceil(quota/CPM)·IPM instructions per visit — as if it could cover
+// several miss periods inside one residency. A thread that switches on
+// its first miss covers exactly one, so for quota > CPM the old bound
+// overestimated the missy thread's throughput (by ~ceil(quota/CPM)×)
+// and overcharged the clean thread with a round it never waited for.
+// TestTimeShareModelTracksEngine in internal/experiments pins the
+// corrected formula against the cycle-accurate engine. With
+// quota ≤ CPM for all threads both formulations agree, which keeps the
+// §6 Example 2 numbers (400-cycle quota) unchanged.
 func (s *System) TimeShareFairness(quotaCycles float64) (fairness float64, speedups []float64, err error) {
 	if err := s.Validate(); err != nil {
 		return 0, nil, err
 	}
-	if quotaCycles <= 0 {
+	if !finite(quotaCycles) || quotaCycles <= 0 {
 		return 0, nil, fmt.Errorf("model: quota must be positive")
 	}
 	n := len(s.Threads)
-	round := float64(n) * (quotaCycles + s.SwitchLat)
+	visits := make([]float64, n)
+	var round float64
+	for i, t := range s.Threads {
+		visits[i] = math.Min(quotaCycles, t.CPM())
+		round += visits[i] + s.SwitchLat
+	}
 	speedups = make([]float64, n)
 	for i, t := range s.Threads {
-		ipcSOE := quotaCycles * t.IPCNoMiss / round
-		// A thread cannot exceed its own miss-limited pace: if the
-		// quota exceeds IPM-worth of cycles, misses still bound it.
-		// (With quota <= CPM this correction is inactive.)
-		if maxIPC := t.IPM / round * math.Ceil(quotaCycles/t.CPM()); quotaCycles > t.CPM() && ipcSOE > maxIPC {
-			ipcSOE = maxIPC
-		}
+		ipcSOE := visits[i] * t.IPCNoMiss / round
 		speedups[i] = ipcSOE / t.IPCST(s.MissLat)
 	}
 	return fairnessOf(speedups), speedups, nil

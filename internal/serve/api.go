@@ -31,8 +31,14 @@ type RunRequest struct {
 	// Trace attaches an event tracer to the run; the recorded window is
 	// downloadable from /v1/jobs/{id}/trace once the job is done. A
 	// request served entirely from the result cache skips the simulation
-	// and records no events.
+	// and records no events. Incompatible with tier=fast (no simulation,
+	// nothing to trace).
 	Trace bool `json:"trace,omitempty"`
+	// Tier selects serving fidelity: "fast" (synchronous calibrated
+	// model, error bars, no simulation), "exact" (queued cycle-accurate
+	// job), or "auto" (fast answer now, exact refinement in place).
+	// Empty uses the server default (DESIGN.md §12).
+	Tier string `json:"tier,omitempty"`
 }
 
 // SweepRequest is the body of POST /v1/sweep: the pair × F-level
@@ -45,6 +51,8 @@ type SweepRequest struct {
 	Pairs []string `json:"pairs,omitempty"`
 	// Scale selects the measurement protocol (as in RunRequest).
 	Scale string `json:"scale,omitempty"`
+	// Tier selects serving fidelity, as in RunRequest.
+	Tier string `json:"tier,omitempty"`
 }
 
 // RunResult is the terminal payload of a run job.

@@ -43,6 +43,20 @@ type job struct {
 	finished  time.Time
 	errMsg    string
 	result    any
+	fidelity  string // "" | FidelityAnalytical | FidelityExact
+}
+
+// attachFast seeds the job with an analytical fast-tier answer
+// (tier=auto). The seed never overwrites a result that is already
+// attached — by the time a coalesced request computes its fast answer,
+// the shared job may already carry the exact one.
+func (j *job) attachFast(fast any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.result == nil {
+		j.result = fast
+		j.fidelity = FidelityAnalytical
+	}
 }
 
 // JobView is the wire representation of a job (GET /v1/jobs/{id}).
@@ -56,6 +70,7 @@ type JobView struct {
 	Finished           string `json:"finished,omitempty"`
 	QueueWaitMicros    int64  `json:"queue_wait_us,omitempty"`
 	Error              string `json:"error,omitempty"`
+	Fidelity           string `json:"fidelity,omitempty"`
 	Result             any    `json:"result,omitempty"`
 	Trace              string `json:"trace,omitempty"`
 	TraceDroppedEvents uint64 `json:"trace_dropped_events,omitempty"`
@@ -76,6 +91,7 @@ func (j *job) view() JobView {
 		CoalescedRequests: j.coalesced,
 		Created:           j.created.Format(time.RFC3339Nano),
 		Error:             j.errMsg,
+		Fidelity:          j.fidelity,
 		Result:            j.result,
 	}
 	if !j.started.IsZero() {

@@ -28,13 +28,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"soemt/internal/cli"
 	"soemt/internal/experiments"
+	"soemt/internal/model"
 	"soemt/internal/obs"
 	"soemt/internal/sim"
 )
@@ -58,6 +61,20 @@ type Config struct {
 	// TraceCap is the tracer ring capacity for trace-requesting jobs.
 	// Default 65536 events.
 	TraceCap int
+	// DefaultTier applies when a request leaves tier unset: "fast",
+	// "exact" or "auto". Default "auto".
+	DefaultTier string
+	// Calibration backs the fast tier. Nil falls back to the
+	// profile-derived table (wide error bars, no simulation needed).
+	Calibration *model.Calibration
+	// JobRetention is how long terminal jobs stay queryable on
+	// /v1/jobs/{id}; older ones are evicted (410 Gone). Negative
+	// disables the TTL (the MaxTerminalJobs bound still applies).
+	// Default 1h.
+	JobRetention time.Duration
+	// MaxTerminalJobs bounds retained terminal jobs regardless of age,
+	// so the job map cannot grow linearly with traffic. Default 1024.
+	MaxTerminalJobs int
 	// Logf, if non-nil, receives server log lines.
 	Logf func(format string, args ...interface{})
 }
@@ -78,6 +95,15 @@ func (c Config) withDefaults() Config {
 	if c.TraceCap <= 0 {
 		c.TraceCap = 1 << 16
 	}
+	if c.DefaultTier == "" {
+		c.DefaultTier = TierAuto
+	}
+	if c.JobRetention == 0 {
+		c.JobRetention = time.Hour
+	}
+	if c.MaxTerminalJobs <= 0 {
+		c.MaxTerminalJobs = 1024
+	}
 	return c
 }
 
@@ -96,13 +122,18 @@ type Server struct {
 	queue chan *job
 	sem   chan struct{} // worker-pool slots
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	active   map[string]*job // coalescing key -> non-terminal job
-	runners  map[string]*experiments.Runner
-	pending  int // accepted, not yet terminal
-	draining bool
-	seq      int
+	calibration *model.Calibration // immutable after NewServer
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	active    map[string]*job // coalescing key -> non-terminal job
+	runners   map[string]*experiments.Runner
+	fastCache map[string]any // fingerprint+"|fast" -> analytical answer
+	terminal  []terminalRef  // eviction order: oldest finished first
+	execEWMA  float64        // smoothed exact-job execution seconds
+	pending   int            // accepted, not yet terminal
+	draining  bool
+	seq       int
 
 	jobWG sync.WaitGroup // accepted jobs
 	wg    sync.WaitGroup // dispatcher
@@ -122,12 +153,36 @@ type Server struct {
 	qWaitLast  *obs.Gauge
 	batchLast  *obs.Gauge
 	pendingG   *obs.Gauge
+
+	fastC          *obs.Counter
+	fastCacheHitsC *obs.Counter
+	fastUnavailC   *obs.Counter
+	fastLatencyC   *obs.Counter
+	evictedC       *obs.Counter
+}
+
+// terminalRef remembers when a job went terminal, for TTL/LRU eviction.
+type terminalRef struct {
+	id string
+	at time.Time
 }
 
 // NewServer builds the server, its shared result cache, and starts
 // the batch dispatcher. Stop it with Drain.
 func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if _, err := tierFor("", cfg.DefaultTier); err != nil {
+		return nil, err
+	}
+	cal := cfg.Calibration
+	if cal == nil {
+		var err error
+		if cal, err = defaultCalibration(); err != nil {
+			return nil, err
+		}
+	} else if err := cal.Validate(); err != nil {
+		return nil, err
+	}
 	cache, err := experiments.NewCache(cfg.CacheDir)
 	if err != nil {
 		return nil, err
@@ -135,16 +190,18 @@ func NewServer(cfg Config) (*Server, error) {
 	reg := cache.Observability()
 	baseCtx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:        cfg,
-		cache:      cache,
-		reg:        reg,
-		queue:      make(chan *job, cfg.QueueDepth),
-		sem:        make(chan struct{}, cfg.Workers),
-		jobs:       make(map[string]*job),
-		active:     make(map[string]*job),
-		runners:    make(map[string]*experiments.Runner),
-		baseCtx:    baseCtx,
-		cancelJobs: cancel,
+		cfg:         cfg,
+		cache:       cache,
+		reg:         reg,
+		calibration: cal,
+		queue:       make(chan *job, cfg.QueueDepth),
+		sem:         make(chan struct{}, cfg.Workers),
+		jobs:        make(map[string]*job),
+		active:      make(map[string]*job),
+		runners:     make(map[string]*experiments.Runner),
+		fastCache:   make(map[string]any),
+		baseCtx:     baseCtx,
+		cancelJobs:  cancel,
 
 		coalescedC: reg.Counter("serve.coalesced"),
 		acceptedC:  reg.Counter("serve.jobs_accepted"),
@@ -158,9 +215,16 @@ func NewServer(cfg Config) (*Server, error) {
 		qWaitLast:  reg.Gauge("serve.queue.wait_last_us"),
 		batchLast:  reg.Gauge("serve.batch.last_size"),
 		pendingG:   reg.Gauge("serve.jobs.pending"),
+
+		fastC:          reg.Counter("serve.fast.answers"),
+		fastCacheHitsC: reg.Counter("serve.fast.cache_hits"),
+		fastUnavailC:   reg.Counter("serve.fast.unavailable"),
+		fastLatencyC:   reg.Counter("serve.fast.latency_us_total"),
+		evictedC:       reg.Counter("serve.jobs_evicted"),
 	}
 	cache.Logf = s.logf
 	s.qCap.Set(int64(cfg.QueueDepth))
+	s.publishCalibrationMetrics()
 	s.wg.Add(1)
 	go s.dispatch()
 	return s, nil
@@ -183,12 +247,15 @@ func (s *Server) logf(format string, args ...interface{}) {
 // while draining, coalesce onto a live identical job, enforce the
 // pending bound, otherwise register and enqueue. The channel send
 // cannot block: pending ≤ QueueDepth bounds the jobs that can be in
-// the channel, which has exactly that capacity.
-func (s *Server) submit(j *job) (*job, bool, error) {
+// the channel, which has exactly that capacity. On rejection, retry is
+// the derived Retry-After in seconds.
+func (s *Server) submit(j *job) (acc *job, coalesced bool, retry int, err error) {
 	s.mu.Lock()
+	s.evictLocked(time.Now())
 	if s.draining {
+		retry = s.retryAfterLocked()
 		s.mu.Unlock()
-		return nil, false, errDraining
+		return nil, false, retry, errDraining
 	}
 	if prev, ok := s.active[j.key]; ok {
 		prev.mu.Lock()
@@ -196,12 +263,13 @@ func (s *Server) submit(j *job) (*job, bool, error) {
 		prev.mu.Unlock()
 		s.mu.Unlock()
 		s.coalescedC.Inc()
-		return prev, true, nil
+		return prev, true, 0, nil
 	}
 	if s.pending >= s.cfg.QueueDepth {
+		retry = s.retryAfterLocked()
 		s.mu.Unlock()
 		s.rejectedC.Inc()
-		return nil, false, errQueueFull
+		return nil, false, retry, errQueueFull
 	}
 	s.seq++
 	j.id = fmt.Sprintf("job-%06d", s.seq)
@@ -218,7 +286,44 @@ func (s *Server) submit(j *job) (*job, bool, error) {
 	s.acceptedC.Inc()
 	s.pendingG.Set(int64(pending))
 	s.qDepth.Set(int64(len(s.queue)))
-	return j, false, nil
+	return j, false, 0, nil
+}
+
+// retryAfterLocked derives a Retry-After from observed service time:
+// the backlog divided across the worker pool at the smoothed
+// per-job execution time, plus one batching delay. Before any job has
+// finished (no observation yet) it falls back to the 1-second floor,
+// which also keeps TestQueueFullReturns429 deterministic. Caller holds
+// s.mu.
+func (s *Server) retryAfterLocked() int {
+	if s.execEWMA <= 0 {
+		return 1
+	}
+	secs := float64(s.pending)/float64(s.cfg.Workers)*s.execEWMA + s.cfg.BatchDelay.Seconds()
+	n := int(math.Ceil(secs))
+	if n < 1 {
+		n = 1
+	}
+	if n > 60 {
+		n = 60
+	}
+	return n
+}
+
+// evictLocked drops terminal jobs that are over the retention TTL or
+// past the size bound, oldest first. Caller holds s.mu. Evicted ids
+// stay 410-recognizable through s.seq (ids are never reused).
+func (s *Server) evictLocked(now time.Time) {
+	for len(s.terminal) > 0 {
+		ref := s.terminal[0]
+		expired := s.cfg.JobRetention >= 0 && now.Sub(ref.at) > s.cfg.JobRetention
+		if !expired && len(s.terminal) <= s.cfg.MaxTerminalJobs {
+			return
+		}
+		s.terminal = s.terminal[1:]
+		delete(s.jobs, ref.id)
+		s.evictedC.Inc()
+	}
 }
 
 // dispatch is the micro-batcher: it collects up to BatchSize queued
@@ -298,11 +403,19 @@ func (s *Server) finish(j *job, result any, err error) {
 			state = StateFailed
 		}
 	}
+	now := time.Now()
 	j.mu.Lock()
 	j.state = state
 	j.errMsg = msg
-	j.result = result
-	j.finished = time.Now()
+	if result != nil {
+		// A nil result (failed run) must not clobber an analytical
+		// answer attached by the auto tier — a stale fast prediction
+		// beats no answer, and the error field reports the failure.
+		j.result = result
+		j.fidelity = FidelityExact
+	}
+	j.finished = now
+	execSecs := now.Sub(j.started).Seconds()
 	j.mu.Unlock()
 
 	s.mu.Lock()
@@ -311,6 +424,17 @@ func (s *Server) finish(j *job, result any, err error) {
 	}
 	s.pending--
 	pending := s.pending
+	// Exponential smoothing of observed per-job execution time feeds
+	// the derived Retry-After.
+	if execSecs > 0 {
+		if s.execEWMA <= 0 {
+			s.execEWMA = execSecs
+		} else {
+			s.execEWMA = 0.7*s.execEWMA + 0.3*execSecs
+		}
+	}
+	s.terminal = append(s.terminal, terminalRef{id: j.id, at: now})
+	s.evictLocked(now)
 	s.mu.Unlock()
 	s.pendingG.Set(int64(pending))
 	if state == StateDone {
@@ -423,6 +547,10 @@ func (s *Server) runnerFor(scaleName string) (*experiments.Runner, error) {
 func (s *Server) job(id string) (*job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Sweep on read too: submit/finish only fire on exact-tier traffic,
+	// so without this a fast-tier-only workload would keep expired jobs
+	// queryable past -job-retention.
+	s.evictLocked(time.Now())
 	j, ok := s.jobs[id]
 	return j, ok
 }
@@ -519,30 +647,48 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 
 // accept submits j and renders the admission outcome: 202 with the
 // job handle (shared with earlier identical requests when coalesced),
-// 429 + Retry-After on a full queue, 503 while draining.
-func (s *Server) accept(w http.ResponseWriter, j *job) {
-	acc, coalesced, err := s.submit(j)
+// 429 + Retry-After on a full queue, 503 while draining. Retry-After
+// is derived from the observed drain rate (retryAfterLocked). A
+// non-nil fast answer (tier=auto) rides along in the 202 body so the
+// caller has a usable number before the exact simulation lands.
+func (s *Server) accept(w http.ResponseWriter, j *job, fast any) {
+	acc, coalesced, retry, err := s.submit(j)
 	switch {
 	case errors.Is(err, errDraining):
-		w.Header().Set("Retry-After", "5")
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 	case errors.Is(err, errQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeError(w, http.StatusTooManyRequests,
 			"queue full (%d jobs pending); retry later", s.cfg.QueueDepth)
 	default:
-		writeJSON(w, http.StatusAccepted, map[string]any{
+		body := map[string]any{
 			"id":        acc.id,
 			"state":     acc.snapshotState(),
 			"coalesced": coalesced,
 			"url":       "/v1/jobs/" + acc.id,
-		})
+		}
+		if fast != nil {
+			body["fidelity"] = FidelityAnalytical
+			body["result"] = fast
+		}
+		writeJSON(w, http.StatusAccepted, body)
 	}
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var rq RunRequest
 	if !decode(w, r, &rq) {
+		return
+	}
+	tier, err := tierFor(rq.Tier, s.cfg.DefaultTier)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if rq.Trace && tier == TierFast {
+		writeError(w, http.StatusBadRequest,
+			"tier=fast cannot trace: the analytical model runs no simulation")
 		return
 	}
 	spec, names, err := rq.buildSpec()
@@ -555,6 +701,28 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "fingerprint: %v", err)
 		return
 	}
+
+	var fast *FastRunResult
+	if tier == TierFast || (tier == TierAuto && !rq.Trace) {
+		fast, err = s.fastRunAnswer(rq, fp)
+		if err != nil {
+			s.fastUnavailC.Inc()
+			if tier == TierFast {
+				writeError(w, http.StatusUnprocessableEntity, "fast tier cannot answer: %v", err)
+				return
+			}
+			// auto degrades to exact-only rather than failing the job.
+			s.logf("fast answer unavailable for %s: %v", fp, err)
+			fast = nil
+		} else {
+			s.fastC.Inc()
+		}
+		if tier == TierFast {
+			writeJSON(w, http.StatusOK, fast)
+			return
+		}
+	}
+
 	j := &job{
 		kind:        "run",
 		key:         fp,
@@ -569,7 +737,19 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		j.key = fp + "|trace"
 		j.tracer = obs.NewTracer(s.cfg.TraceCap)
 	}
-	s.accept(w, j)
+	if fast != nil {
+		j.attachFast(fast)
+	}
+	s.accept(w, j, anyOrNil(fast))
+}
+
+// anyOrNil keeps a typed-nil *FastRunResult from becoming a non-nil
+// interface in the 202 body.
+func anyOrNil(fast *FastRunResult) any {
+	if fast == nil {
+		return nil
+	}
+	return fast
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -577,20 +757,71 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &rq) {
 		return
 	}
+	tier, err := tierFor(rq.Tier, s.cfg.DefaultTier)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	if err := rq.validate(); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.accept(w, &job{kind: "sweep", key: rq.sweepKey(), sweep: rq})
+
+	var fast *FastSweepResult
+	if tier == TierFast || tier == TierAuto {
+		fast, err = s.fastSweepAnswer(rq)
+		if err != nil {
+			s.fastUnavailC.Inc()
+			if tier == TierFast {
+				writeError(w, http.StatusUnprocessableEntity, "fast tier cannot answer: %v", err)
+				return
+			}
+			s.logf("fast sweep unavailable: %v", err)
+			fast = nil
+		} else {
+			s.fastC.Inc()
+		}
+		if tier == TierFast {
+			writeJSON(w, http.StatusOK, fast)
+			return
+		}
+	}
+
+	j := &job{kind: "sweep", key: rq.sweepKey(), sweep: rq}
+	if fast != nil {
+		j.attachFast(fast)
+		s.accept(w, j, fast)
+		return
+	}
+	s.accept(w, j, nil)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.job(r.PathValue("id"))
+	id := r.PathValue("id")
+	j, ok := s.job(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		if s.wasEvicted(id) {
+			writeError(w, http.StatusGone, "job %q evicted after retention; results remain in the content-addressed cache", id)
+			return
+		}
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, j.view())
+}
+
+// wasEvicted reports whether id names a job this process once issued
+// but no longer retains: ids are dense ("job-%06d" up to seq), so any
+// parseable id at or below the sequence counter that is absent from
+// the map must have been evicted.
+func (s *Server) wasEvicted(id string) bool {
+	var n int
+	if _, err := fmt.Sscanf(id, "job-%06d", &n); err != nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return n >= 1 && n <= s.seq
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
