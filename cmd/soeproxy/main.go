@@ -1,0 +1,142 @@
+// Command soeproxy is the cluster gateway for a fleet of soeserve
+// nodes: it routes submissions by content-addressed fingerprint,
+// retries on ring successors when a node or its circuit breaker
+// fails, hedges synchronous tier=fast requests against the latency
+// tail, and sheds load with deterministic 429/503 + Retry-After.
+//
+//	soeproxy -addr :8090 -nodes http://n1:8080,http://n2:8080,http://n3:8080
+//
+//	curl -s localhost:8090/v1/run -d '{"pair":"gcc:eon","f":0.5,"scale":"tiny"}'
+//	curl -s localhost:8090/status
+//	soeproxy -status -addr localhost:8090
+//
+// See DESIGN.md §13 for the routing and failure semantics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"soemt/internal/cli"
+	"soemt/internal/cluster"
+	"soemt/internal/obs"
+	"soemt/internal/proxy"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8090", "listen address (or, with -status, the gateway to query)")
+		nodes         = flag.String("nodes", "", "comma-separated soeserve base URLs (required unless -status)")
+		status        = flag.Bool("status", false, "print the gateway's /status JSON and exit")
+		maxAttempts   = flag.Int("retries", 0, "max ring candidates per submission, first attempt included (0 = all)")
+		hedgeAfter    = flag.Duration("hedge-after", 0, "fixed latency before hedging a tier=fast request (0 = adaptive p95)")
+		maxBody       = flag.Int64("max-body", 1<<20, "max request body bytes (413 beyond)")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "node /healthz probe interval")
+		reqTimeout    = flag.Duration("node-timeout", 15*time.Second, "per-node request timeout")
+		timeouts      = cli.DefaultHTTPTimeouts()
+	)
+	timeouts.Flags(flag.CommandLine)
+	flag.Parse()
+
+	if *status {
+		if err := printStatus(*addr); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	nodeList := splitNodes(*nodes)
+	if len(nodeList) == 0 {
+		fatal(errors.New("-nodes is required (comma-separated soeserve URLs)"))
+	}
+
+	reg := obs.NewRegistry() // shared: cluster.* and proxy.* side by side on /metrics
+	cl, err := cluster.New(cluster.Config{
+		Nodes:          nodeList,
+		ProbeInterval:  *probeInterval,
+		RequestTimeout: *reqTimeout,
+		Registry:       reg,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	px, err := proxy.New(proxy.Config{
+		Cluster:      cl,
+		MaxAttempts:  *maxAttempts,
+		HedgeAfter:   *hedgeAfter,
+		MaxBodyBytes: *maxBody,
+		Registry:     reg,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	cl.StartProbes(ctx)
+	defer cl.StopProbes()
+
+	hs := timeouts.Server(*addr, px.Handler())
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		<-ctx.Done()
+		log.Printf("soeproxy: signal received; shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(sctx)
+	}()
+
+	log.Printf("soeproxy: listening on %s, routing over %d nodes (%s)",
+		*addr, len(nodeList), strings.Join(nodeList, ", "))
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	<-stopped
+}
+
+func splitNodes(s string) []string {
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// printStatus fetches and prints the /status JSON of a running
+// gateway; addr accepts ":8090", "host:8090" or a full URL.
+func printStatus(addr string) error {
+	url := addr
+	if strings.HasPrefix(url, ":") {
+		url = "127.0.0.1" + url
+	}
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	resp, err := http.Get(url + "/status")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s from %s/status", resp.Status, url)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "soeproxy:", err)
+	os.Exit(1)
+}

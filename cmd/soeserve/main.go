@@ -22,9 +22,11 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"soemt/internal/cli"
+	"soemt/internal/cluster"
 	"soemt/internal/model"
 	"soemt/internal/serve"
 )
@@ -43,7 +45,16 @@ func main() {
 		calibration  = flag.String("calibration", "", "calibration table for the fast tier (soesim -calibrate output; default: profile-derived fit with wide error bars)")
 		jobRetention = flag.Duration("job-retention", time.Hour, "how long terminal jobs stay queryable on /v1/jobs before eviction (410 Gone); negative keeps them until the size bound")
 		maxJobs      = flag.Int("max-jobs", 1024, "max retained terminal jobs regardless of age")
+		maxBody      = flag.Int64("max-body", 1<<20, "max request body bytes (413 beyond)")
+
+		nodeName      = flag.String("node-name", "", "this node's name, prefixed onto job ids in cluster deployments")
+		self          = flag.String("self", "", "this node's base URL in -peers (required with -peers)")
+		peers         = flag.String("peers", "", "comma-separated base URLs of every cluster node including this one; enables the peer cache tier (DESIGN.md §13)")
+		peerTimeout   = flag.Duration("peer-timeout", 2*time.Second, "max time for one peer cache fetch before degrading to a local run")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "peer /healthz probe interval")
+		timeouts      = cli.DefaultHTTPTimeouts()
 	)
+	timeouts.Flags(flag.CommandLine)
 	flag.Parse()
 
 	var cal *model.Calibration
@@ -66,6 +77,8 @@ func main() {
 		Calibration:     cal,
 		JobRetention:    *jobRetention,
 		MaxTerminalJobs: *maxJobs,
+		NodeName:        *nodeName,
+		MaxBodyBytes:    *maxBody,
 		Logf:            log.Printf,
 	})
 	if err != nil {
@@ -73,13 +86,37 @@ func main() {
 	}
 	cli.NoteResume("soeserve", srv.Cache())
 
+	var cl *cluster.Cluster
+	if *peers != "" {
+		if *self == "" {
+			fatal(errors.New("-peers requires -self (this node's URL in the list)"))
+		}
+		cl, err = cluster.New(cluster.Config{
+			Self:          *self,
+			Nodes:         splitPeers(*peers),
+			ProbeInterval: *probeInterval,
+			Registry:      srv.Observability(),
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		srv.SetPeers(cl, *peerTimeout)
+		log.Printf("soeserve: cluster member %s of %s (peer fill on, timeout %s)", *self, *peers, *peerTimeout)
+	}
+
 	// First SIGINT/SIGTERM starts the drain; SignalContext restores the
 	// default disposition immediately, so a second signal kills the
 	// process if the drain itself wedges.
 	ctx, stop := cli.SignalContext()
 	defer stop()
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	if cl != nil {
+		cl.StartProbes(ctx)
+		defer cl.StopProbes()
+	}
+
+	hs := timeouts.Server(*addr, srv.Handler())
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
@@ -103,6 +140,16 @@ func main() {
 		fatal(err)
 	}
 	<-drained
+}
+
+func splitPeers(s string) []string {
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

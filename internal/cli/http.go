@@ -1,0 +1,61 @@
+package cli
+
+import (
+	"flag"
+	"net/http"
+	"time"
+)
+
+// HTTPTimeouts bundles the http.Server timeouts every soemt service
+// must set. A server with none of them is one slow client away from
+// descriptor exhaustion (Slowloris: open a connection, trickle header
+// bytes forever); the defaults here close that off while staying far
+// above anything a legitimate soeserve/soeproxy client does — request
+// bodies are small JSON and long work happens server-side behind 202
+// + polling, never on an open request.
+type HTTPTimeouts struct {
+	// ReadHeader bounds reading one request's header block. Default 5s.
+	ReadHeader time.Duration
+	// Read bounds reading a whole request (header + body). Default 1m.
+	Read time.Duration
+	// Write bounds writing a response from the end of header read.
+	// Default 2m (covers a large trace export on a slow link).
+	Write time.Duration
+	// Idle bounds how long a keep-alive connection may sit between
+	// requests. Default 2m.
+	Idle time.Duration
+}
+
+// DefaultHTTPTimeouts returns the fleet-wide defaults.
+func DefaultHTTPTimeouts() HTTPTimeouts {
+	return HTTPTimeouts{
+		ReadHeader: 5 * time.Second,
+		Read:       time.Minute,
+		Write:      2 * time.Minute,
+		Idle:       2 * time.Minute,
+	}
+}
+
+// Flags registers the four timeouts on fs (the process flag set in
+// practice), with the current values as defaults, so soeserve and
+// soeproxy expose identical knobs.
+func (t *HTTPTimeouts) Flags(fs *flag.FlagSet) {
+	fs.DurationVar(&t.ReadHeader, "read-header-timeout", t.ReadHeader, "max time to read a request's headers (Slowloris guard; 0 disables)")
+	fs.DurationVar(&t.Read, "read-timeout", t.Read, "max time to read a whole request (0 disables)")
+	fs.DurationVar(&t.Write, "write-timeout", t.Write, "max time to write a response (0 disables)")
+	fs.DurationVar(&t.Idle, "idle-timeout", t.Idle, "max keep-alive idle time between requests (0 disables)")
+}
+
+// Server returns an http.Server for addr/handler with the timeouts
+// applied — the one constructor every soemt main should use instead
+// of a bare &http.Server literal.
+func (t HTTPTimeouts) Server(addr string, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: t.ReadHeader,
+		ReadTimeout:       t.Read,
+		WriteTimeout:      t.Write,
+		IdleTimeout:       t.Idle,
+	}
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic breaker
+// timing.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(3, 100*time.Millisecond, time.Second, 7, clk.Now)
+
+	for i := 0; i < 2; i++ {
+		if tripped := b.Failure(0); tripped {
+			t.Fatalf("failure %d tripped the breaker, want trip on the 3rd", i+1)
+		}
+		if !b.Allow() {
+			t.Fatalf("breaker refused traffic after %d failures (threshold 3)", i+1)
+		}
+	}
+	if !b.Failure(0) {
+		t.Fatal("3rd consecutive failure did not trip the breaker")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request inside its backoff")
+	}
+	st, rem := b.State()
+	if st != BreakerOpen || rem <= 0 {
+		t.Fatalf("state = %s rem=%s, want open with positive backoff", st, rem)
+	}
+	// Jitter keeps the backoff in [base/2, base).
+	if rem < 50*time.Millisecond || rem >= 100*time.Millisecond {
+		t.Fatalf("first backoff = %s, want within [50ms, 100ms)", rem)
+	}
+}
+
+func TestBreakerSuccessResetsFailureRun(t *testing.T) {
+	b := newBreaker(3, time.Second, time.Minute, 1, newFakeClock().Now)
+	b.Failure(0)
+	b.Failure(0)
+	b.Success()
+	if tripped := b.Failure(0); tripped {
+		t.Fatal("failure run survived an intervening success")
+	}
+}
+
+func TestBreakerHalfOpenAdmitsOneProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, 100*time.Millisecond, time.Second, 3, clk.Now)
+	b.Failure(0)
+	if b.Allow() {
+		t.Fatal("open breaker admitted traffic")
+	}
+	clk.Advance(200 * time.Millisecond) // past any jittered backoff <= 100ms
+
+	if !b.Allow() {
+		t.Fatal("expired breaker refused the half-open probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// A failing probe re-opens with a doubled (jittered) backoff.
+	if !b.Failure(0) {
+		t.Fatal("failed half-open probe did not re-open the breaker")
+	}
+	_, rem := b.State()
+	if rem < 100*time.Millisecond || rem >= 200*time.Millisecond {
+		t.Fatalf("second backoff = %s, want within [100ms, 200ms) (doubled base, jittered)", rem)
+	}
+
+	// A succeeding probe closes it fully.
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("expired breaker refused the second probe")
+	}
+	b.Success()
+	if st, _ := b.State(); st != BreakerClosed {
+		t.Fatalf("state after probe success = %s, want closed", st)
+	}
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("closed breaker rate-limited traffic")
+	}
+}
+
+func TestBreakerHonorsRetryAfter(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, 100*time.Millisecond, time.Second, 9, clk.Now)
+	// The node asked for 30s; the jittered exponential backoff (< 100ms)
+	// must not probe earlier than that.
+	b.Failure(30 * time.Second)
+	_, rem := b.State()
+	if rem != 30*time.Second {
+		t.Fatalf("open duration = %s, want the node's Retry-After of 30s", rem)
+	}
+	clk.Advance(29 * time.Second)
+	if b.Allow() {
+		t.Fatal("breaker probed before the node's Retry-After elapsed")
+	}
+	clk.Advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker refused traffic after Retry-After elapsed")
+	}
+}
+
+func TestBreakerBackoffDeterministicInSeed(t *testing.T) {
+	rem := func(seed uint64) time.Duration {
+		b := newBreaker(1, 100*time.Millisecond, time.Second, seed, newFakeClock().Now)
+		b.Failure(0)
+		_, r := b.State()
+		return r
+	}
+	if rem(42) != rem(42) {
+		t.Fatal("same seed produced different jittered backoffs")
+	}
+	if rem(1) == rem(2) && rem(3) == rem(1) {
+		t.Fatal("distinct seeds produced identical backoffs — jitter looks broken")
+	}
+}

@@ -59,6 +59,11 @@ type Cache struct {
 	dir string // "" = memory-only
 	run func(context.Context, sim.Spec) (*sim.Result, error)
 
+	// peerFill, if non-nil, is the remote peer cache tier consulted
+	// after a disk miss and before simulating (see SetPeerFill). It is
+	// strictly best-effort: any error degrades to local execution.
+	peerFill func(context.Context, string) (*sim.Result, error)
+
 	// Logf, if non-nil, receives warnings about best-effort disk
 	// operations (a failed write never fails the run that produced the
 	// result). May be called from multiple goroutines.
@@ -341,6 +346,18 @@ func (c *Cache) DoContext(ctx context.Context, key string, fn func() (*sim.Resul
 
 	if res := c.readDisk(key); res != nil {
 		c.m.diskHits.Add(1)
+		finish(res, nil)
+		return res, true, nil
+	}
+
+	// Local layers missed: try the remote peer tier before paying for a
+	// simulation. A verified peer result is persisted locally so the
+	// next restart hits disk instead of the network; any peer failure
+	// falls through to fn — degraded, never wrong.
+	if res := c.fetchPeer(ctx, key); res != nil {
+		if werr := c.writeDisk(key, res); werr != nil {
+			c.logf("WARN cache: persist peer fill %.12s…: %v", key, werr)
+		}
 		finish(res, nil)
 		return res, true, nil
 	}

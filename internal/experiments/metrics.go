@@ -74,6 +74,14 @@ type metrics struct {
 	// (DESIGN.md §11); visible via the registry as cache.dedup_retries.
 	dedupRetries *obs.Counter
 
+	// Peer cache tier outcomes (DESIGN.md §13): hits are sha256-verified
+	// results pulled from the ring owner, misses are clean ErrNoPeer
+	// answers, errors are degraded fetches (network fault, corruption,
+	// schema drift) that fell through to local execution.
+	peerHits   *obs.Counter
+	peerMisses *obs.Counter
+	peerErrors *obs.Counter
+
 	simCycles    *obs.Counter
 	simWallNanos *obs.Counter
 }
@@ -95,6 +103,9 @@ func newMetrics(reg *obs.Registry) metrics {
 		dedupHits:     reg.Counter("cache.dedup_hits"),
 		misses:        reg.Counter("cache.misses"),
 		dedupRetries:  reg.Counter("cache.dedup_retries"),
+		peerHits:      reg.Counter("cluster.peer_fill_hits"),
+		peerMisses:    reg.Counter("cluster.peer_fill_misses"),
+		peerErrors:    reg.Counter("cluster.peer_fill_errors"),
 		simCycles:     reg.Counter("runner.sim_cycles"),
 		simWallNanos:  reg.Counter("runner.sim_wall_nanos"),
 	}

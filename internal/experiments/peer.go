@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"soemt/internal/sim"
+)
+
+// The remote peer cache tier (DESIGN.md §13).
+//
+// A cluster of soeserve nodes shares completed results by pulling
+// them from the ring owner on local miss: memory → disk → PEER →
+// simulate. The tier is strictly best-effort and trust-nothing: a
+// peer response is accepted only after the same sha256 content
+// checksum that guards the disk layer verifies, and any failure —
+// network, timeout, 5xx, corruption, schema drift — silently degrades
+// to local execution. The worst case is re-simulation on this node;
+// a wrong result is impossible, mirroring the corrupt-cache invariant
+// the disk layer has carried since PR 2.
+
+// ErrNoPeer reports that the peer tier had no answer without anything
+// going wrong: no peer is configured for the key (this node owns it),
+// or the owning node does not have the entry. Peer-fill functions
+// return it (possibly wrapped) to distinguish a clean miss from a
+// degraded fetch in the cluster.peer_fill_* metrics.
+var ErrNoPeer = errors.New("experiments: no peer result")
+
+// SetPeerFill installs the remote peer tier consulted on local cache
+// miss (nil removes it). fn must return a VERIFIED result —
+// DecodeVerifiedEntry is the intended decoder — or ErrNoPeer for a
+// clean miss; any other error counts as a degraded fetch. Install it
+// before the cache serves traffic, alongside SetRunFunc.
+func (c *Cache) SetPeerFill(fn func(ctx context.Context, key string) (*sim.Result, error)) {
+	c.peerFill = fn
+}
+
+// fetchPeer consults the peer tier for key, counting the outcome.
+// Any error degrades to a nil return — the caller falls through to
+// local execution, never fails the run.
+func (c *Cache) fetchPeer(ctx context.Context, key string) *sim.Result {
+	fn := c.peerFill
+	if fn == nil {
+		return nil
+	}
+	res, err := fn(ctx, key)
+	switch {
+	case err == nil && res != nil:
+		c.m.peerHits.Add(1)
+		return res
+	case errors.Is(err, ErrNoPeer):
+		c.m.peerMisses.Add(1)
+	default:
+		c.m.peerErrors.Add(1)
+		c.logf("WARN cache: peer fill %.12s…: %v (degrading to local run)", key, err)
+	}
+	return nil
+}
+
+// EncodeEntry renders the wire/disk envelope for a result: schema
+// version, key, sha256 content checksum, result. It is what
+// GET /v1/cache/{fingerprint} serves, byte-compatible with the disk
+// store's format so either side of the fetch can also be a file.
+func EncodeEntry(key string, res *sim.Result) ([]byte, error) {
+	sum, err := resultSum(res)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(diskEntry{Schema: SchemaVersion, Key: key, Sum: sum, Result: res})
+}
+
+// DecodeVerifiedEntry parses an entry envelope fetched from a peer
+// and verifies it end to end: schema version, key match, and the
+// sha256 checksum recomputed over the decoded result. Unlike the disk
+// reader — which accepts pre-checksum legacy entries — a peer entry
+// without a checksum is rejected: remote bytes crossed a network and
+// get no benefit of the doubt. Every verification failure is an
+// error; the peer tier turns it into a local re-simulation, never a
+// wrong result.
+func DecodeVerifiedEntry(data []byte, key string) (*sim.Result, error) {
+	var e diskEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("experiments: peer entry %.12s…: %w", key, err)
+	}
+	if e.Schema != SchemaVersion {
+		return nil, fmt.Errorf("experiments: peer entry %.12s…: schema %q, want %q", key, e.Schema, SchemaVersion)
+	}
+	if e.Key != key {
+		return nil, fmt.Errorf("experiments: peer entry key mismatch: got %.12s…, want %.12s…", e.Key, key)
+	}
+	if e.Result == nil {
+		return nil, fmt.Errorf("experiments: peer entry %.12s…: missing result", key)
+	}
+	if e.Sum == "" {
+		return nil, fmt.Errorf("experiments: peer entry %.12s…: missing content checksum", key)
+	}
+	sum, err := resultSum(e.Result)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: peer entry %.12s…: %w", key, err)
+	}
+	if sum != e.Sum {
+		return nil, fmt.Errorf("experiments: peer entry %.12s…: checksum mismatch", key)
+	}
+	return e.Result, nil
+}

@@ -1,0 +1,151 @@
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+
+	"soemt/internal/rng"
+)
+
+// Network fault sites consumed by RoundTripper. Each site is also
+// consulted with an "@host" suffix (e.g. "peer.drop@127.0.0.1:18081"),
+// so a test can target one node — the deterministic stand-in for "this
+// machine's link to that rack is bad" — while the bare site models
+// fleet-wide weather.
+const (
+	// SitePeerLatency sleeps the armed Delay before the request is
+	// sent (slow peer / congested link).
+	SitePeerLatency = "peer.latency"
+	// SitePeerDrop fails the request with a connection error WITHOUT
+	// forwarding it: the modeled packet dies on the wire, so the far
+	// node never sees it and a retry elsewhere cannot double-execute.
+	SitePeerDrop = "peer.drop"
+	// SitePeer5xx synthesizes a 500 response WITHOUT forwarding the
+	// request (a proxy or sick front-end failing before admission).
+	// Like SitePeerDrop, the far node never processes the request, so
+	// retrying on another node keeps cluster-wide dedup exact.
+	SitePeer5xx = "peer.5xx"
+	// SitePeerCorrupt forwards the request but deterministically
+	// flips bytes in the response body (bit rot, torn proxy buffers).
+	// The sha256 verification on peer cache fills must catch every
+	// such corruption and degrade to a local run — never to a wrong
+	// result.
+	SitePeerCorrupt = "peer.corrupt"
+)
+
+// maxCorruptBody bounds how much of a response RoundTripper buffers
+// in order to corrupt it; larger bodies pass through untouched.
+const maxCorruptBody = 64 << 20
+
+// CorruptBytes flips a seeded selection of bytes in data in place —
+// the in-memory sibling of CorruptFile. The flipped positions and XOR
+// masks are pure functions of (seed, index), so a corruption replays
+// bit-identically, and every flip XORs with a non-zero mask, so data
+// of length >= 1 is guaranteed to actually change.
+func CorruptBytes(data []byte, seed, index uint64) {
+	if len(data) == 0 {
+		return
+	}
+	n := int(rng.Uint64At(seed, index*97)%8) + 1 // 1..8 flips
+	for i := 0; i < n; i++ {
+		pos := rng.Uint64At(seed, index*97+uint64(2*i+1)) % uint64(len(data))
+		mask := byte(rng.Uint64At(seed, index*97+uint64(2*i+2)))
+		if mask == 0 {
+			mask = 0xA5
+		}
+		data[pos] ^= mask
+	}
+}
+
+// faultTransport injects network faults between an HTTP client and
+// its transport.
+type faultTransport struct {
+	base http.RoundTripper
+	inj  *Injector
+}
+
+// RoundTripper wraps base with the injector's network sites. A nil
+// injector returns base unchanged (zero overhead in production); a
+// nil base wraps http.DefaultTransport. Sites fire in this order per
+// request: peer.latency (sleep), peer.drop (connection error),
+// peer.5xx (synthesized 500), then the real round trip, then
+// peer.corrupt (response-body corruption). Both the bare site and its
+// "@host" variant are consulted, and each call advances both
+// counters, so a replay with the same seed and call sequence faults
+// identically.
+func RoundTripper(base http.RoundTripper, inj *Injector) http.RoundTripper {
+	if inj == nil {
+		if base == nil {
+			return http.DefaultTransport
+		}
+		return base
+	}
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &faultTransport{base: base, inj: inj}
+}
+
+// hit consults site and site@host, advancing both counters.
+func (t *faultTransport) hit(site, host string) bool {
+	a := t.inj.Hit(site)
+	b := t.inj.Hit(site + "@" + host)
+	return a || b
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	t.inj.Sleep(SitePeerLatency)
+	t.inj.Sleep(SitePeerLatency + "@" + host)
+
+	if t.hit(SitePeerDrop, host) {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("faultinject: injected connection drop to %s", host)
+	}
+	if t.hit(SitePeer5xx, host) {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		body := fmt.Sprintf(`{"error":"faultinject: injected 5xx for %s"}`, host)
+		return &http.Response{
+			Status:        "500 Internal Server Error",
+			StatusCode:    http.StatusInternalServerError,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || resp == nil {
+		return resp, err
+	}
+	if t.hit(SitePeerCorrupt, host) {
+		t.corruptBody(resp)
+	}
+	return resp, nil
+}
+
+// corruptBody buffers the response body and flips seeded bytes in it.
+// The corruption index is the site's fired count, so consecutive
+// corruptions differ but replay identically.
+func (t *faultTransport) corruptBody(resp *http.Response) {
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxCorruptBody))
+	resp.Body.Close()
+	if err != nil || len(data) == 0 {
+		resp.Body = io.NopCloser(bytes.NewReader(data))
+		return
+	}
+	idx := t.inj.Fired(SitePeerCorrupt) + t.inj.Fired(SitePeerCorrupt+"@"+resp.Request.URL.Host)
+	CorruptBytes(data, rng.Sub(t.inj.seed, SitePeerCorrupt), idx)
+	resp.Body = io.NopCloser(bytes.NewReader(data))
+	resp.ContentLength = int64(len(data))
+}

@@ -1,0 +1,176 @@
+package faultinject
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func clientVia(inj *Injector) *http.Client {
+	return &http.Client{Transport: RoundTripper(nil, inj)}
+}
+
+func TestTransportNilInjectorPassesThrough(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "payload")
+	}))
+	defer ts.Close()
+	resp, err := clientVia(nil).Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "payload" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestTransportDropNeverReachesServer(t *testing.T) {
+	var served int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+	}))
+	defer ts.Close()
+
+	inj := New(11).Arm(SitePeerDrop, Plan{Every: 2}) // every 2nd request dies
+	cl := clientVia(inj)
+	var drops int
+	for i := 0; i < 6; i++ {
+		resp, err := cl.Get(ts.URL)
+		if err != nil {
+			if !strings.Contains(err.Error(), "injected connection drop") {
+				t.Fatalf("request %d: unexpected error %v", i, err)
+			}
+			drops++
+			continue
+		}
+		resp.Body.Close()
+	}
+	if drops != 3 {
+		t.Fatalf("drops = %d, want 3 (Every:2 over 6 calls)", drops)
+	}
+	// The invariant the chaos suite depends on: a dropped request was
+	// never processed, so retrying it elsewhere cannot double-execute.
+	if served != 3 {
+		t.Fatalf("server served %d requests, want 3", served)
+	}
+}
+
+func TestTransport5xxSynthesizedBeforeForwarding(t *testing.T) {
+	var served int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+	}))
+	defer ts.Close()
+
+	inj := New(12).Arm(SitePeer5xx, Plan{Every: 1})
+	resp, err := clientVia(inj).Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte("faultinject")) {
+		t.Fatalf("synthesized body = %q", body)
+	}
+	if served != 0 {
+		t.Fatalf("server processed %d requests behind an injected 5xx, want 0", served)
+	}
+}
+
+func TestTransportCorruptFlipsResponseBytesDeterministically(t *testing.T) {
+	const payload = `{"schema":"v1","key":"abc","sum":"deadbeef","result":{"ipc":1.5}}`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer ts.Close()
+
+	read := func(seed uint64) []byte {
+		inj := New(seed).Arm(SitePeerCorrupt, Plan{Every: 1})
+		resp, err := clientVia(inj).Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return b
+	}
+	a := read(99)
+	if bytes.Equal(a, []byte(payload)) {
+		t.Fatal("armed peer.corrupt left the body untouched")
+	}
+	if !bytes.Equal(a, read(99)) {
+		t.Fatal("same seed produced different corruptions")
+	}
+	if bytes.Equal(read(99), read(100)) {
+		t.Fatal("different seeds produced identical corruptions")
+	}
+}
+
+func TestTransportPerHostSiteTargetsOneNode(t *testing.T) {
+	var servedA, servedB int
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { servedA++ }))
+	defer a.Close()
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { servedB++ }))
+	defer b.Close()
+
+	hostA := strings.TrimPrefix(a.URL, "http://")
+	inj := New(5).Arm(SitePeerDrop+"@"+hostA, Plan{Every: 1})
+	cl := clientVia(inj)
+
+	if _, err := cl.Get(a.URL); err == nil {
+		t.Fatal("request to the targeted host survived peer.drop@host")
+	}
+	resp, err := cl.Get(b.URL)
+	if err != nil {
+		t.Fatalf("request to the untargeted host failed: %v", err)
+	}
+	resp.Body.Close()
+	if servedA != 0 || servedB != 1 {
+		t.Fatalf("served A=%d B=%d, want 0/1", servedA, servedB)
+	}
+}
+
+func TestTransportLatencySleepsBeforeSend(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	inj := New(3).Arm(SitePeerLatency, Plan{Every: 1, Delay: 40 * time.Millisecond})
+	start := time.Now()
+	resp, err := clientVia(inj).Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("request completed in %s, want >= 40ms injected latency", d)
+	}
+}
+
+func TestCorruptBytesProperties(t *testing.T) {
+	CorruptBytes(nil, 1, 0) // must not panic
+	one := []byte{0x00}
+	CorruptBytes(one, 1, 0)
+	if one[0] == 0x00 {
+		t.Fatal("single-byte buffer not corrupted")
+	}
+	a := bytes.Repeat([]byte("x"), 256)
+	b := bytes.Repeat([]byte("x"), 256)
+	CorruptBytes(a, 7, 1)
+	CorruptBytes(b, 7, 1)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same (seed, index) produced different corruptions")
+	}
+	c := bytes.Repeat([]byte("x"), 256)
+	CorruptBytes(c, 7, 2)
+	if bytes.Equal(a, c) {
+		t.Fatal("different indexes produced identical corruptions")
+	}
+}

@@ -188,6 +188,29 @@ func (rq RunRequest) buildSpec() (sim.Spec, []string, error) {
 	return spec, []string{a.Name, b.Name}, nil
 }
 
+// RouteKey returns the content-addressed key a gateway routes this
+// request by: the spec fingerprint, identical to the server-side
+// coalescing key (minus the |trace suffix — traced and untraced twins
+// should land on the same node). An invalid request fails here the
+// same way it would fail at submit time, so the gateway rejects it
+// with 400 instead of burning a candidate walk.
+func (rq RunRequest) RouteKey() (string, error) {
+	spec, _, err := rq.buildSpec()
+	if err != nil {
+		return "", err
+	}
+	return experiments.Fingerprint(spec)
+}
+
+// RouteKey returns the routing key for a sweep: the coalescing key,
+// so identical matrices land on (and coalesce at) one node.
+func (rq SweepRequest) RouteKey() (string, error) {
+	if err := rq.validate(); err != nil {
+		return "", err
+	}
+	return rq.sweepKey(), nil
+}
+
 // sweepKey is the coalescing key for a sweep request: identical
 // matrices share one job.
 func (rq SweepRequest) sweepKey() string {

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"soemt/internal/cluster"
+	"soemt/internal/experiments"
+	"soemt/internal/sim"
+)
+
+// Cluster wiring: the peer cache tier and its serving endpoint
+// (DESIGN.md §13).
+//
+// Each node exports its local cache over GET /v1/cache/{fingerprint}
+// and, on local miss, pulls from the ring owner before simulating.
+// Both directions are strictly best-effort — a peer can cost this node
+// a re-simulation, never a wrong result (entries are sha256-verified
+// by experiments.DecodeVerifiedEntry) and never an error surfaced to
+// a client.
+
+// maxPeerEntry bounds a peer cache entry read into memory. Real
+// entries are a few KiB; anything larger is a sick or hostile peer.
+const maxPeerEntry = 8 << 20
+
+// defaultPeerTimeout bounds one peer cache fetch when SetPeers is
+// given no explicit timeout. It is deliberately much smaller than a
+// simulation: a slow peer must lose to re-simulating locally.
+const defaultPeerTimeout = 2 * time.Second
+
+// SetPeers joins this server to a cluster: on a local cache miss it
+// will try GET /v1/cache/{fingerprint} from the key's ring owner
+// (breaker-gated, bounded by timeout — <= 0 selects the 2s default)
+// before paying for a simulation. A nil cl detaches. Call before the
+// server starts taking traffic.
+func (s *Server) SetPeers(cl *cluster.Cluster, timeout time.Duration) {
+	s.mu.Lock()
+	s.peers = cl
+	s.mu.Unlock()
+	if cl == nil {
+		s.cache.SetPeerFill(nil)
+		return
+	}
+	if timeout <= 0 {
+		timeout = defaultPeerTimeout
+	}
+	s.cache.SetPeerFill(func(ctx context.Context, key string) (*sim.Result, error) {
+		return s.peerFetch(ctx, cl, key, timeout)
+	})
+}
+
+// Peers returns the cluster this server joined via SetPeers (nil when
+// standalone).
+func (s *Server) Peers() *cluster.Cluster {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peers
+}
+
+// peerFetch pulls one verified cache entry from key's ring owner.
+// Owning the key ourselves is a clean miss (ErrNoPeer): the local
+// layers already missed and no other node is a better authority.
+func (s *Server) peerFetch(ctx context.Context, cl *cluster.Cluster, key string, timeout time.Duration) (*sim.Result, error) {
+	owner := cl.Owner(key)
+	if owner == "" || owner == cl.Self() {
+		return nil, experiments.ErrNoPeer
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	resp, err := cl.RoundTrip(ctx, owner, http.MethodGet, "/v1/cache/"+key, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return nil, fmt.Errorf("owner %s has no entry: %w", owner, experiments.ErrNoPeer)
+	case resp.StatusCode != http.StatusOK:
+		return nil, fmt.Errorf("serve: peer %s: %s", owner, resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerEntry+1))
+	if err != nil {
+		return nil, fmt.Errorf("serve: peer %s: %w", owner, err)
+	}
+	if len(data) > maxPeerEntry {
+		return nil, fmt.Errorf("serve: peer %s: entry exceeds %d bytes", owner, maxPeerEntry)
+	}
+	return experiments.DecodeVerifiedEntry(data, key)
+}
+
+// handleCacheGet serves GET /v1/cache/{fp}: the local cache layers
+// only (memory, then disk) — never a simulation and never a peer
+// fetch of its own, which is what makes cluster-wide fill loops
+// impossible by construction.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("fp")
+	if !validFingerprint(key) {
+		writeError(w, http.StatusBadRequest, "malformed fingerprint %q", key)
+		return
+	}
+	res, ok := s.cache.Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no cached result for %s", key)
+		return
+	}
+	data, err := experiments.EncodeEntry(key, res)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode entry: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// validFingerprint accepts exactly the shape Fingerprint emits: 64
+// lowercase hex characters. Everything else is rejected before it can
+// reach the cache's disk layer as a path component.
+func validFingerprint(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

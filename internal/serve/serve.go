@@ -32,10 +32,12 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"soemt/internal/cli"
+	"soemt/internal/cluster"
 	"soemt/internal/experiments"
 	"soemt/internal/model"
 	"soemt/internal/obs"
@@ -75,6 +77,14 @@ type Config struct {
 	// MaxTerminalJobs bounds retained terminal jobs regardless of age,
 	// so the job map cannot grow linearly with traffic. Default 1024.
 	MaxTerminalJobs int
+	// NodeName, when set, prefixes job ids ("n1-job-000001") so ids
+	// minted by different cluster nodes never collide and a gateway can
+	// fan a job lookup across the fleet unambiguously. Default "" (bare
+	// "job-%06d", the pre-cluster format).
+	NodeName string
+	// MaxBodyBytes bounds a request body; larger submissions get a
+	// deterministic 413. Default 1 MiB.
+	MaxBodyBytes int64
 	// Logf, if non-nil, receives server log lines.
 	Logf func(format string, args ...interface{})
 }
@@ -104,6 +114,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxTerminalJobs <= 0 {
 		c.MaxTerminalJobs = 1024
 	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
 	return c
 }
 
@@ -125,6 +138,7 @@ type Server struct {
 	calibration *model.Calibration // immutable after NewServer
 
 	mu        sync.Mutex
+	peers     *cluster.Cluster // joined via SetPeers; nil standalone
 	jobs      map[string]*job
 	active    map[string]*job // coalescing key -> non-terminal job
 	runners   map[string]*experiments.Runner
@@ -272,7 +286,7 @@ func (s *Server) submit(j *job) (acc *job, coalesced bool, retry int, err error)
 		return nil, false, retry, errQueueFull
 	}
 	s.seq++
-	j.id = fmt.Sprintf("job-%06d", s.seq)
+	j.id = s.jobID(s.seq)
 	j.state = StateQueued
 	j.created = time.Now()
 	s.jobs[j.id] = j
@@ -610,6 +624,7 @@ func (s *Server) Drain(ctx context.Context) error {
 //	POST /v1/sweep           submit a pair × F-level matrix
 //	GET  /v1/jobs/{id}       job status + result
 //	GET  /v1/jobs/{id}/trace Chrome-format event trace (when recorded)
+//	GET  /v1/cache/{fp}      verified cache entry (peer fill, §13)
 //	GET  /healthz            liveness + drain state
 //	GET  /metrics            text dump of the obs registry
 func (s *Server) Handler() http.Handler {
@@ -618,6 +633,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/cache/{fp}", s.handleCacheGet)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -635,10 +651,21 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-func decode(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+// decode parses a JSON request body bounded by Config.MaxBodyBytes.
+// An over-limit body is a deterministic 413 (not a parse-dependent
+// 400): MaxBytesReader stops reading at the bound, so a client
+// streaming an oversized sweep cannot hold memory or mask the real
+// cause in a JSON syntax error.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
@@ -678,7 +705,7 @@ func (s *Server) accept(w http.ResponseWriter, j *job, fast any) {
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var rq RunRequest
-	if !decode(w, r, &rq) {
+	if !s.decode(w, r, &rq) {
 		return
 	}
 	tier, err := tierFor(rq.Tier, s.cfg.DefaultTier)
@@ -754,7 +781,7 @@ func anyOrNil(fast *FastRunResult) any {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var rq SweepRequest
-	if !decode(w, r, &rq) {
+	if !s.decode(w, r, &rq) {
 		return
 	}
 	tier, err := tierFor(rq.Tier, s.cfg.DefaultTier)
@@ -810,11 +837,28 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.view())
 }
 
+// jobID renders a job id: dense sequence numbers, prefixed with the
+// node name in cluster deployments so ids are fleet-unique.
+func (s *Server) jobID(n int) string {
+	if s.cfg.NodeName == "" {
+		return fmt.Sprintf("job-%06d", n)
+	}
+	return fmt.Sprintf("%s-job-%06d", s.cfg.NodeName, n)
+}
+
 // wasEvicted reports whether id names a job this process once issued
-// but no longer retains: ids are dense ("job-%06d" up to seq), so any
+// but no longer retains: ids are dense (jobID up to seq), so any
 // parseable id at or below the sequence counter that is absent from
-// the map must have been evicted.
+// the map must have been evicted. An id carrying another node's name
+// (or none, on a named node) was never ours and stays a plain 404.
 func (s *Server) wasEvicted(id string) bool {
+	if s.cfg.NodeName != "" {
+		rest, ok := strings.CutPrefix(id, s.cfg.NodeName+"-")
+		if !ok {
+			return false
+		}
+		id = rest
+	}
 	var n int
 	if _, err := fmt.Sscanf(id, "job-%06d", &n); err != nil {
 		return false
@@ -852,6 +896,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.qDepth.Set(int64(len(s.queue)))
+	if cl := s.Peers(); cl != nil {
+		cl.Snapshot() // refresh cluster.breaker_open / cluster.nodes_* gauges
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if _, err := s.reg.WriteTo(w); err != nil {
 		s.logf("metrics dump: %v", err)
