@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Workload-spec smoke test: expand the committed example spec, boot
+# soeserve, replay the smoke spec open-loop through soegen, and verify
+#
+#   1. the dedup invariant — runner.runs_started equals the number of
+#      DISTINCT specs in the schedule (soegen's distinct_specs=N),
+#      however many requests the replay fired;
+#   2. the admission contract — every submission ends inside
+#      {2xx, 429}: soegen exits non-zero (errors>0) otherwise;
+#   3. offline determinism — two -schedule expansions of the same spec
+#      are byte-identical.
+#
+#   ci/workload_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:18090
+WORK=$(mktemp -d)
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+go build -o "$WORK/soeserve" ./cmd/soeserve
+go build -o "$WORK/soegen" ./cmd/soegen
+
+# Offline checks first: the README example must validate, and the
+# smoke spec must expand deterministically.
+"$WORK/soegen" -validate examples/specs/mixed.yaml
+"$WORK/soegen" -schedule examples/specs/smoke.yaml > "$WORK/sched1.csv"
+"$WORK/soegen" -schedule examples/specs/smoke.yaml > "$WORK/sched2.csv"
+if ! cmp -s "$WORK/sched1.csv" "$WORK/sched2.csv"; then
+    echo "workload_smoke: FAIL — same spec produced different schedules" >&2
+    exit 1
+fi
+
+"$WORK/soeserve" -addr "$ADDR" -queue 128 -workers 4 >"$WORK/serve.log" 2>&1 &
+PID=$!
+curl -fsS --retry 25 --retry-connrefused --retry-delay 1 "http://$ADDR/healthz" >/dev/null
+
+metric() {
+    curl -fsS "http://$ADDR/metrics" | awk -v n="$1" '$1==n {print $2}'
+}
+
+# Replay the smoke burst time-compressed. soegen exits non-zero if any
+# submission ends outside {2xx, 429}, which fails the script via -e.
+"$WORK/soegen" -replay examples/specs/smoke.yaml \
+    -addr "http://$ADDR" -speed 4 | tee "$WORK/replay.log"
+
+distinct=$(sed -n 's/.*distinct_specs=\([0-9]*\).*/\1/p' "$WORK/replay.log" | tail -1)
+if [ -z "$distinct" ]; then
+    echo "workload_smoke: FAIL — replay summary missing distinct_specs" >&2
+    exit 1
+fi
+
+# Wait for the queue to drain, then check the invariant.
+for i in $(seq 1 240); do
+    pending=$(metric serve.jobs.pending)
+    [ "${pending:-1}" = "0" ] && break
+    sleep 0.5
+done
+if [ "${pending:-1}" != "0" ]; then
+    echo "workload_smoke: FAIL — jobs still pending after timeout" >&2
+    exit 1
+fi
+
+runs=$(metric runner.runs_started)
+failed=$(metric serve.jobs_failed)
+echo "workload_smoke: distinct_specs=$distinct runs_started=${runs:-0} failed=${failed:-0}"
+if [ "${runs:-0}" != "$distinct" ]; then
+    echo "workload_smoke: FAIL — $distinct distinct specs but ${runs:-0} engine runs (dedup invariant broken)" >&2
+    exit 1
+fi
+if [ "${failed:-0}" != 0 ]; then
+    echo "workload_smoke: FAIL — ${failed} jobs failed" >&2
+    exit 1
+fi
+
+kill -TERM "$PID"
+rc=0
+wait "$PID" || rc=$?
+PID=""
+if [ "$rc" != 0 ]; then
+    echo "workload_smoke: FAIL — server exited $rc after SIGTERM" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+fi
+echo "workload_smoke: OK"

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"soemt/internal/trace"
+	"soemt/internal/workload"
+	"soemt/internal/workload/spec"
+)
+
+// gapTrace builds a trace whose events are spaced by the given gaps
+// (instruction units), starting at 1000.
+func gapTrace(p workload.Profile, gaps []float64) *trace.Trace {
+	t := &trace.Trace{Profile: p}
+	at := uint64(1000)
+	for _, g := range gaps {
+		at += uint64(g)
+		t.Events = append(t.Events, trace.Event{AtInstr: at, Kind: trace.EventIO, StallCycles: 100})
+	}
+	return t
+}
+
+// The acceptance round trip: record a trace from a known profile, fit
+// a synthetic spec to it, and assert the fitted profile reproduces the
+// source IPM / no-miss IPC / CPM within the documented tolerances.
+func TestFitTraceRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several engine simulations")
+	}
+	r := NewRunner(testOptions())
+	for _, name := range []string{"gcc", "mcf"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			src := workload.MustByName(name)
+			tr := gapTrace(src, []float64{5000, 4000, 6000, 5500, 4500, 5000, 5200})
+
+			fit, err := FitTrace(context.Background(), r, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("\n%s", fit.Report)
+			if !fit.Report.Within() {
+				t.Fatalf("fit outside tolerance:\n%s", fit.Report)
+			}
+
+			// The report must reflect an independent re-measurement:
+			// running the fitted profile fresh reproduces the marginals.
+			check, err := measureProfile(context.Background(), r, fit.Fitted)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if relErr(check.IPM, fit.Source.IPM) > TolIPM {
+				t.Errorf("re-measured IPM %.1f vs source %.1f exceeds %v", check.IPM, fit.Source.IPM, TolIPM)
+			}
+			if relErr(check.IPCNoMiss, fit.Source.IPCNoMiss) > TolIPCNoMiss {
+				t.Errorf("re-measured no-miss IPC %.3f vs source %.3f exceeds %v", check.IPCNoMiss, fit.Source.IPCNoMiss, TolIPCNoMiss)
+			}
+			if relErr(check.CPM, fit.Source.CPM) > TolCPM {
+				t.Errorf("re-measured CPM %.1f vs source %.1f exceeds %v", check.CPM, fit.Source.CPM, TolCPM)
+			}
+
+			// The emitted spec must be valid, self-contained and encode a
+			// YAML document that parses back.
+			s := fit.Spec("fitted-"+name, 5, 2*time.Second)
+			if err := s.Validate(); err != nil {
+				t.Fatalf("fitted spec invalid: %v", err)
+			}
+			again, err := spec.Parse(s.Encode())
+			if err != nil {
+				t.Fatalf("fitted spec YAML does not re-parse: %v\n---\n%s", err, s.Encode())
+			}
+			if _, ok := again.Resolve("fitted"); !ok {
+				t.Fatal("fitted profile lost in YAML round trip")
+			}
+		})
+	}
+}
+
+func TestFitArrivalMethodOfMoments(t *testing.T) {
+	p := workload.MustByName("gcc")
+
+	// Near-constant gaps: CV << 1 -> smoothed gamma with large shape.
+	tr := gapTrace(p, []float64{1000, 1010, 990, 1005, 995, 1000, 1002, 998})
+	a, count, mean, cv := fitArrival(tr.Events)
+	if a.Process != spec.ProcGamma {
+		t.Fatalf("near-constant gaps fitted as %q, want gamma (cv=%.3f)", a.Process, cv)
+	}
+	if math.Abs(mean-1000) > 10 {
+		t.Fatalf("mean gap %.1f, want ~1000", mean)
+	}
+	if count != 8 || a.Shape < 4 {
+		t.Fatalf("count=%d shape=%v, want 8 events and a strongly smoothed shape", count, a.Shape)
+	}
+
+	// Heavy-tailed gaps: CV > 1 -> weibull whose analytical CV matches
+	// the measured one (that is what method-of-moments means).
+	tr = gapTrace(p, []float64{100, 80, 120, 9000, 90, 110, 7000, 100, 95})
+	a, _, _, cv = fitArrival(tr.Events)
+	if a.Process != spec.ProcWeibull {
+		t.Fatalf("bursty gaps fitted as %q, want weibull (cv=%.3f)", a.Process, cv)
+	}
+	if got := a.CV(); math.Abs(got-cv)/cv > 0.01 {
+		t.Fatalf("weibull shape %v has CV %.3f, want measured %.3f", a.Shape, got, cv)
+	}
+
+	// Exponential-ish spread lands in the poisson band.
+	tr = gapTrace(p, []float64{200, 1500, 600, 50, 900, 2500, 300, 1100, 150, 700})
+	a, _, _, cv = fitArrival(tr.Events)
+	if a.Process != spec.ProcPoisson {
+		t.Fatalf("cv=%.3f fitted as %q, want poisson", cv, a.Process)
+	}
+	if a.Shape != 0 {
+		t.Fatalf("poisson fit carries shape %v", a.Shape)
+	}
+
+	// Too few events for a second moment: poisson default, evidence
+	// recorded in the count.
+	a, count, _, _ = fitArrival(tr.Events[:2])
+	if a.Process != spec.ProcPoisson || count != 2 {
+		t.Fatalf("2-event trace fitted as %q (count %d), want poisson default", a.Process, count)
+	}
+}
+
+func TestWeibullShapeFromCV(t *testing.T) {
+	for _, k := range []float64{0.3, 0.5, 0.8} {
+		cv := (spec.Arrival{Process: spec.ProcWeibull, Shape: k}).CV()
+		got := weibullShapeFromCV(cv)
+		if math.Abs(got-k) > 1e-6 {
+			t.Errorf("shape(CV(%v)) = %v, want %v", k, got, k)
+		}
+	}
+}
+
+func TestFitTraceRejectsInvalidTrace(t *testing.T) {
+	r := NewRunner(testOptions())
+	bad := workload.MustByName("gcc")
+	bad.FracLoad = 1.2
+	bad.FracStore = -0.3
+	_, err := FitTrace(context.Background(), r, &trace.Trace{Profile: bad})
+	if err == nil {
+		t.Fatal("FitTrace accepted a trace with an invalid profile")
+	}
+}

@@ -50,6 +50,17 @@ func Float64At(seed, index uint64) float64 {
 
 // IntnAt returns a uniform integer in [0, n) from the counter-mode
 // stream. n must be positive.
+//
+// Modulo-bias audit (kept deliberately): the value is Uint64At % n, so
+// the 2^64 mod n smallest residues are favoured by at most n/2^64 in
+// probability. Every call site in this repo uses n ≤ 2^20 (DepWindow
+// picks, event-kind draws), bounding the bias below 2^-44 — orders of
+// magnitude beneath anything observable even across 10^12 draws. A
+// rejection-sampling fix would consume a variable number of stream
+// values per draw and change every generated instruction stream,
+// breaking the bit-identical golden-figure and fast-forward
+// equivalence suites, so the biased-but-stable stream is the contract;
+// TestModuloStreamPinned pins it.
 func IntnAt(seed, index uint64, n int) int {
 	if n <= 0 {
 		panic("rng: IntnAt with non-positive n")
@@ -78,6 +89,9 @@ func (s *Stream) Float64() float64 {
 }
 
 // Intn returns a uniform integer in [0, n). n must be positive.
+// It shares IntnAt's documented modulo bias (< n/2^64, negligible for
+// the small n used here) and its stability contract: the stream is
+// pinned by TestModuloStreamPinned and must not change.
 func (s *Stream) Intn(n int) int {
 	if n <= 0 {
 		panic("rng: Intn with non-positive n")

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client is a minimal soeserve/soeproxy submission client for
+// open-loop traffic replay (cmd/soegen). It speaks the deterministic
+// admission contract: 202 (or 200 for tier=fast) accepts, 429 and 503
+// carry a server-computed Retry-After that the client honors before
+// retrying, bounded by MaxRetries. Everything else is returned to the
+// caller unretried — replay drivers classify statuses, they don't
+// hide them.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+	// MaxRetries bounds how many 429/503 bounces a single submission
+	// absorbs before giving up and reporting the last status.
+	MaxRetries int
+	// Backoff is the wait used when the server sends no usable
+	// Retry-After; zero means defaultBackoff.
+	Backoff time.Duration
+}
+
+const defaultBackoff = 100 * time.Millisecond
+
+// SubmitOutcome reports how one submission ended. Status is the final
+// HTTP status: 202/200 on acceptance, 429/503 when retries ran out,
+// or whatever the server said for non-retryable answers.
+type SubmitOutcome struct {
+	Status    int
+	JobID     string
+	Coalesced bool
+	Retries   int    // 429/503 bounces absorbed before the final answer
+	Body      string // error body text for non-2xx finals
+}
+
+// Accepted reports whether the submission landed (2xx).
+func (o SubmitOutcome) Accepted() bool { return o.Status >= 200 && o.Status < 300 }
+
+// SubmitRun submits one RunRequest, honoring Retry-After on 429/503
+// up to MaxRetries. Transport failures and context cancellation
+// return an error; HTTP-level refusals are reported in the outcome.
+func (c *Client) SubmitRun(ctx context.Context, rq RunRequest) (SubmitOutcome, error) {
+	payload, err := json.Marshal(rq)
+	if err != nil {
+		return SubmitOutcome{}, fmt.Errorf("serve client: encode: %w", err)
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	var out SubmitOutcome
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			c.BaseURL+"/v1/run", bytes.NewReader(payload))
+		if err != nil {
+			return out, fmt.Errorf("serve client: %w", err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := httpc.Do(req)
+		if err != nil {
+			return out, fmt.Errorf("serve client: %w", err)
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		resp.Body.Close()
+		out.Status = resp.StatusCode
+
+		switch {
+		case resp.StatusCode == http.StatusAccepted:
+			var acc struct {
+				ID        string `json:"id"`
+				Coalesced bool   `json:"coalesced"`
+			}
+			if err := json.Unmarshal(body, &acc); err != nil {
+				return out, fmt.Errorf("serve client: bad 202 body: %w", err)
+			}
+			out.JobID, out.Coalesced = acc.ID, acc.Coalesced
+			return out, nil
+		case resp.StatusCode == http.StatusOK:
+			// tier=fast answers inline; there is no job handle.
+			return out, nil
+		case resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable:
+			if attempt >= c.MaxRetries {
+				out.Body = string(body)
+				return out, nil
+			}
+			out.Retries++
+			if err := c.wait(ctx, resp.Header.Get("Retry-After")); err != nil {
+				return out, err
+			}
+		default:
+			out.Body = string(body)
+			return out, nil
+		}
+	}
+}
+
+// wait sleeps for the server's Retry-After (whole seconds per the
+// admission contract), or the client backoff when absent or
+// unparsable, returning early if ctx ends.
+func (c *Client) wait(ctx context.Context, retryAfter string) error {
+	d := c.Backoff
+	if d <= 0 {
+		d = defaultBackoff
+	}
+	if s, err := strconv.Atoi(retryAfter); err == nil && s > 0 {
+		d = time.Duration(s) * time.Second
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestClientRetriesOn429ThenAccepts(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/run" || r.Method != http.MethodPost {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"j1","state":"queued","coalesced":true,"url":"/v1/jobs/j1"}`))
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, MaxRetries: 5, Backoff: time.Millisecond}
+	out, err := c.SubmitRun(context.Background(), RunRequest{Pair: "gcc:mcf", F: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted() || out.Status != http.StatusAccepted {
+		t.Fatalf("outcome %+v, want accepted 202", out)
+	}
+	if out.JobID != "j1" || !out.Coalesced {
+		t.Fatalf("job handle not parsed: %+v", out)
+	}
+	if out.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", out.Retries)
+	}
+}
+
+func TestClientGivesUpAfterMaxRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, MaxRetries: 2, Backoff: time.Millisecond}
+	out, err := c.SubmitRun(context.Background(), RunRequest{Bench: "art"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted() || out.Status != http.StatusTooManyRequests {
+		t.Fatalf("outcome %+v, want final 429", out)
+	}
+	if out.Retries != 2 {
+		t.Fatalf("retries = %d, want 2 (MaxRetries)", out.Retries)
+	}
+}
+
+func TestClientDoesNotRetryBadRequest(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"unknown profile"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, MaxRetries: 5, Backoff: time.Millisecond}
+	out, err := c.SubmitRun(context.Background(), RunRequest{Bench: "nosuch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != http.StatusBadRequest || out.Retries != 0 {
+		t.Fatalf("outcome %+v, want unretried 400", out)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("400 was retried %d times", calls.Load()-1)
+	}
+	if out.Body == "" {
+		t.Fatal("error body not captured")
+	}
+}
+
+func TestClientFastTier200(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"ipc_total": 1.2}`))
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL}
+	out, err := c.SubmitRun(context.Background(), RunRequest{Pair: "gcc:mcf", Tier: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted() || out.Status != http.StatusOK || out.JobID != "" {
+		t.Fatalf("outcome %+v, want inline 200", out)
+	}
+}
+
+func TestClientHonorsContextDuringRetryWait(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	c := &Client{BaseURL: ts.URL, MaxRetries: 3}
+	start := time.Now()
+	_, err := c.SubmitRun(ctx, RunRequest{Bench: "art"})
+	if err == nil {
+		t.Fatal("want context error when Retry-After outlives the context")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("client slept through a 30s Retry-After despite cancellation")
+	}
+}

@@ -1,0 +1,86 @@
+package spec
+
+import (
+	"math"
+
+	"soemt/internal/rng"
+)
+
+// Counter-mode sampling of the arrival processes. Every draw is a
+// pure function of (seed, index): even the rejection loop inside the
+// gamma sampler runs on a per-index substream, so draw i never
+// consumes values belonging to draw i+1 and the whole schedule can be
+// regenerated from any position.
+
+// uniformAt returns a uniform in the open interval (0, 1): both
+// endpoints are excluded so log() and inverse-CDF transforms below
+// never see 0 or 1.
+func uniformAt(seed, index uint64) float64 {
+	u := rng.Float64At(seed, index)
+	if u <= 0 {
+		return 0.5 / (1 << 53)
+	}
+	return u
+}
+
+// expAt draws a unit-mean exponential.
+func expAt(seed, index uint64) float64 {
+	return -math.Log(1 - uniformAt(seed, index))
+}
+
+// weibullAt draws a unit-mean Weibull with shape k via the inverse
+// CDF; the 1/Gamma(1+1/k) factor normalizes the mean.
+func weibullAt(seed, index uint64, k float64) float64 {
+	return math.Pow(-math.Log(1-uniformAt(seed, index)), 1/k) / math.Gamma(1+1/k)
+}
+
+// normalAt draws a standard normal by Box–Muller from the j-th pair of
+// the per-index substream.
+func normalAt(sub, j uint64) float64 {
+	u1 := uniformAt(sub, 2*j)
+	u2 := uniformAt(sub, 2*j+1)
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// gammaAt draws a unit-mean Gamma(shape, 1/shape) using
+// Marsaglia–Tsang squeeze-rejection. The rejection loop consumes
+// values from a substream derived from (seed, index), keeping the
+// draw pure.
+func gammaAt(seed, index uint64, shape float64) float64 {
+	sub := rng.Uint64At(seed, index)
+	k, boost := shape, 1.0
+	if k < 1 {
+		// Gamma(k) = Gamma(k+1) · U^(1/k).
+		boost = math.Pow(uniformAt(sub, 1<<62), 1/k)
+		k++
+	}
+	d := k - 1.0/3.0
+	c := 1 / (3 * math.Sqrt(d))
+	for j := uint64(0); ; j++ {
+		x := normalAt(sub, j)
+		u := uniformAt(sub, (1<<61)+j)
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		if math.Log(u) < 0.5*x*x+d-d*v+d*math.Log(v) {
+			// boost · d·v ~ Gamma(shape, 1); dividing by shape sets the
+			// mean to exactly 1 for every shape.
+			return boost * d * v / shape
+		}
+	}
+}
+
+// interArrival returns the i-th unit-mean inter-arrival gap of the
+// process on the stream identified by seed.
+func (a Arrival) interArrival(seed, i uint64) float64 {
+	switch a.Process {
+	case ProcGamma:
+		return gammaAt(seed, i, a.Shape)
+	case ProcWeibull:
+		return weibullAt(seed, i, a.Shape)
+	default: // poisson
+		return expAt(seed, i)
+	}
+}

@@ -1,0 +1,352 @@
+// Package spec implements ServeGen-style declarative workload
+// specifications: YAML documents describing heterogeneous client
+// populations (per-client profile mixtures, skewed request rates),
+// bursty arrival processes (Poisson, Gamma, Weibull) and program-phase
+// overlays, expanded deterministically into either timed open-loop
+// traffic for a live soeserve/soeproxy endpoint or static pair/sweep
+// matrices for offline experiment drivers.
+//
+// Everything is a pure function of (spec, seed): arrivals and workload
+// picks are drawn from internal/rng counter-mode streams, so the same
+// spec generates byte-identical schedules on every machine and every
+// run — replay is exact by construction, and a schedule can be
+// regenerated from any position without state.
+package spec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"soemt/internal/workload"
+)
+
+// Skew selects how a client group's aggregate rate is shared across
+// its members.
+type Skew string
+
+// Supported rate skews. Zipf gives member m weight 1/(m+1)^s — the
+// heavy-tailed per-user rates of production traffic, where fairness
+// enforcement matters most.
+const (
+	SkewUniform Skew = "uniform"
+	SkewZipf    Skew = "zipf"
+)
+
+// Arrival processes.
+const (
+	ProcPoisson = "poisson"
+	ProcGamma   = "gamma"
+	ProcWeibull = "weibull"
+)
+
+// Arrival describes a client's inter-arrival process. All processes
+// are normalized to unit mean and scaled by the member's rate, so
+// Process/Shape control only burstiness:
+//
+//	poisson          CV = 1 (memoryless baseline)
+//	gamma  shape k   CV = 1/sqrt(k): k > 1 smooths, k < 1 bursts
+//	weibull shape k  CV > 1 for k < 1 (heavy-tailed bursts)
+type Arrival struct {
+	Process string
+	Shape   float64 // gamma/weibull only
+}
+
+// CV returns the theoretical coefficient of variation of the process,
+// or NaN for an invalid one.
+func (a Arrival) CV() float64 {
+	switch a.Process {
+	case ProcPoisson:
+		return 1
+	case ProcGamma:
+		if a.Shape <= 0 {
+			return math.NaN()
+		}
+		return 1 / math.Sqrt(a.Shape)
+	case ProcWeibull:
+		if a.Shape <= 0 {
+			return math.NaN()
+		}
+		g1 := math.Gamma(1 + 1/a.Shape)
+		g2 := math.Gamma(1 + 2/a.Shape)
+		return math.Sqrt(g2/(g1*g1) - 1)
+	}
+	return math.NaN()
+}
+
+// Entry is one weighted workload in a client's mixture: either a
+// two-thread pair ("a:b") at an enforcement level or a single-thread
+// bench, optionally with a program-phase overlay appended to the base
+// profiles' own Phases (matrix expansion only — overlays cannot be
+// expressed over the /v1/run wire, which names built-in profiles).
+type Entry struct {
+	Pair   string
+	Bench  string
+	F      float64
+	Tier   string // "", "fast", "exact", "auto"
+	Weight float64
+	Phases []workload.Phase
+}
+
+// names returns the profile names the entry references.
+func (e Entry) names() []string {
+	if e.Bench != "" {
+		return []string{e.Bench}
+	}
+	parts := strings.SplitN(e.Pair, ":", 2)
+	if len(parts) != 2 {
+		return nil
+	}
+	return parts
+}
+
+// Client is one homogeneous client group: Count members sharing an
+// aggregate Rate (requests/second) split by Skew, each member drawing
+// independent arrivals and workload picks from its own counter-mode
+// streams.
+type Client struct {
+	Name      string
+	Count     int
+	Rate      float64
+	Skew      Skew    // default uniform
+	ZipfS     float64 // zipf exponent, default 1
+	Arrival   Arrival
+	Workloads []Entry
+}
+
+// Spec is a complete workload specification.
+type Spec struct {
+	Name     string
+	Seed     uint64
+	Scale    string // "tiny", "quick" (default) or "paper"
+	Duration time.Duration
+	// Profiles holds optional inline custom profiles (e.g. emitted by
+	// the calibration harness), referenced from Workloads by name and
+	// shadowing built-ins.
+	Profiles map[string]workload.Profile
+	Clients  []Client
+}
+
+// maxRequests bounds a single expansion; a spec above it is almost
+// certainly a units mistake (rate in ms instead of seconds, say) and
+// fails validation with the estimate in the error.
+const maxRequests = 2_000_000
+
+// Resolve returns the profile a workload entry name refers to:
+// an inline spec profile if declared, else a built-in.
+func (s *Spec) Resolve(name string) (workload.Profile, bool) {
+	if p, ok := s.Profiles[name]; ok {
+		return p, true
+	}
+	return workload.ByName(name)
+}
+
+// Validate checks the whole spec and returns the first problem as an
+// actionable error naming the exact field path.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("spec: name is required (used in logs, schedules and cache keys)")
+	}
+	switch s.Scale {
+	case "", "tiny", "quick", "paper":
+	default:
+		return fmt.Errorf("spec %s: scale %q unknown (want tiny, quick or paper)", s.Name, s.Scale)
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("spec %s: duration must be positive, got %v", s.Name, s.Duration)
+	}
+	for name, p := range s.Profiles {
+		if p.Name != "" && p.Name != name {
+			return fmt.Errorf("spec %s: profiles[%s]: inner name %q disagrees with the key", s.Name, name, p.Name)
+		}
+		pp := p
+		pp.Name = name
+		if err := pp.Validate(); err != nil {
+			return fmt.Errorf("spec %s: profiles[%s]: %w", s.Name, name, err)
+		}
+	}
+	if len(s.Clients) == 0 {
+		return fmt.Errorf("spec %s: at least one client group is required", s.Name)
+	}
+	seen := map[string]bool{}
+	expected := 0.0
+	for i, c := range s.Clients {
+		at := fmt.Sprintf("spec %s: clients[%d]", s.Name, i)
+		if c.Name == "" {
+			return fmt.Errorf("%s: name is required", at)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("%s: duplicate client name %q", at, c.Name)
+		}
+		seen[c.Name] = true
+		if c.Count < 1 {
+			return fmt.Errorf("%s (%s): count must be >= 1, got %d", at, c.Name, c.Count)
+		}
+		if !(c.Rate > 0) || math.IsInf(c.Rate, 0) {
+			return fmt.Errorf("%s (%s): rate must be a positive requests/second, got %v", at, c.Name, c.Rate)
+		}
+		switch c.Skew {
+		case "", SkewUniform:
+		case SkewZipf:
+			if c.ZipfS < 0 || math.IsNaN(c.ZipfS) || math.IsInf(c.ZipfS, 0) {
+				return fmt.Errorf("%s (%s): zipf_s must be >= 0, got %v", at, c.Name, c.ZipfS)
+			}
+		default:
+			return fmt.Errorf("%s (%s): skew %q unknown (want uniform or zipf)", at, c.Name, c.Skew)
+		}
+		if err := validateArrival(c.Arrival); err != nil {
+			return fmt.Errorf("%s (%s): arrival: %w", at, c.Name, err)
+		}
+		if len(c.Workloads) == 0 {
+			return fmt.Errorf("%s (%s): at least one workload entry is required", at, c.Name)
+		}
+		for j, e := range c.Workloads {
+			if err := s.validateEntry(e); err != nil {
+				return fmt.Errorf("%s (%s): workloads[%d]: %w", at, c.Name, j, err)
+			}
+		}
+		expected += c.Rate * s.Duration.Seconds()
+	}
+	if expected > maxRequests {
+		return fmt.Errorf("spec %s: rates × duration expand to ~%.0f requests (> %d); lower the rates or shorten the duration",
+			s.Name, expected, maxRequests)
+	}
+	return nil
+}
+
+func validateArrival(a Arrival) error {
+	switch a.Process {
+	case ProcPoisson:
+		if a.Shape != 0 {
+			return fmt.Errorf("shape %v is meaningless for poisson (drop it, or pick gamma/weibull)", a.Shape)
+		}
+	case ProcGamma, ProcWeibull:
+		if !(a.Shape > 0) || math.IsInf(a.Shape, 0) {
+			return fmt.Errorf("%s requires a positive shape, got %v", a.Process, a.Shape)
+		}
+	case "":
+		return fmt.Errorf("process is required (poisson, gamma or weibull)")
+	default:
+		return fmt.Errorf("process %q unknown (want poisson, gamma or weibull)", a.Process)
+	}
+	return nil
+}
+
+func (s *Spec) validateEntry(e Entry) error {
+	if (e.Pair == "") == (e.Bench == "") {
+		return fmt.Errorf("exactly one of pair or bench must be set")
+	}
+	names := e.names()
+	if names == nil {
+		return fmt.Errorf("pair must be \"a:b\", got %q", e.Pair)
+	}
+	for _, n := range names {
+		if _, ok := s.Resolve(n); !ok {
+			return fmt.Errorf("unknown profile %q (built-ins: %s; inline: %s)",
+				n, strings.Join(workload.Names(), ", "), strings.Join(s.profileNames(), ", "))
+		}
+	}
+	if e.F < 0 || e.F > 1 || math.IsNaN(e.F) {
+		return fmt.Errorf("f must be in [0, 1], got %v", e.F)
+	}
+	switch e.Tier {
+	case "", "fast", "exact", "auto":
+	default:
+		return fmt.Errorf("tier %q unknown (want fast, exact or auto)", e.Tier)
+	}
+	if !(e.Weight > 0) || math.IsInf(e.Weight, 0) {
+		return fmt.Errorf("weight must be positive, got %v", e.Weight)
+	}
+	if len(e.Phases) > 0 {
+		// The overlay must keep every referenced profile valid; this
+		// reuses Profile.Validate's phase-scale checks so a bad overlay
+		// fails here, at spec load, with the profile's own message.
+		for _, n := range names {
+			if _, err := s.overlaid(n, e.Phases); err != nil {
+				return fmt.Errorf("phase overlay on %q: %w", n, err)
+			}
+		}
+	}
+	return nil
+}
+
+// overlaid returns profile name with the overlay phases appended to
+// its own phase schedule.
+func (s *Spec) overlaid(name string, phases []workload.Phase) (workload.Profile, error) {
+	p, ok := s.Resolve(name)
+	if !ok {
+		return workload.Profile{}, fmt.Errorf("unknown profile %q", name)
+	}
+	if len(phases) == 0 {
+		return p, nil
+	}
+	p.Phases = append(append([]workload.Phase{}, p.Phases...), phases...)
+	if err := p.Validate(); err != nil {
+		return workload.Profile{}, err
+	}
+	return p, nil
+}
+
+func (s *Spec) profileNames() []string {
+	names := make([]string, 0, len(s.Profiles))
+	for n := range s.Profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Replayable reports whether the spec can be replayed over the
+// /v1/run wire, which names built-in profiles only: inline profiles
+// and phase overlays have no wire representation. The error says
+// which entry blocks replay and what to use instead.
+func (s *Spec) Replayable() error {
+	for i, c := range s.Clients {
+		for j, e := range c.Workloads {
+			if len(e.Phases) > 0 {
+				return fmt.Errorf("spec %s: clients[%d].workloads[%d]: phase overlays cannot be replayed over the wire; use matrix expansion (-expand) instead", s.Name, i, j)
+			}
+			for _, n := range e.names() {
+				if _, inline := s.Profiles[n]; inline {
+					return fmt.Errorf("spec %s: clients[%d].workloads[%d]: inline profile %q cannot be replayed over the wire (soeserve knows built-ins only); use matrix expansion (-expand) instead", s.Name, i, j, n)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ScaleOrDefault returns the spec's measurement scale name, defaulting
+// to "quick".
+func (s *Spec) ScaleOrDefault() string {
+	if s.Scale == "" {
+		return "quick"
+	}
+	return s.Scale
+}
+
+// memberShares returns each member's share of the group rate.
+func (c *Client) memberShares() []float64 {
+	shares := make([]float64, c.Count)
+	if c.Skew != SkewZipf {
+		for m := range shares {
+			shares[m] = 1 / float64(c.Count)
+		}
+		return shares
+	}
+	sExp := c.ZipfS
+	if sExp == 0 {
+		sExp = 1
+	}
+	total := 0.0
+	for m := range shares {
+		shares[m] = 1 / math.Pow(float64(m+1), sExp)
+		total += shares[m]
+	}
+	for m := range shares {
+		shares[m] /= total
+	}
+	return shares
+}

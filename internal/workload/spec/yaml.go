@@ -1,0 +1,577 @@
+package spec
+
+// A minimal YAML-subset reader/writer for workload specs. The
+// container image deliberately carries no third-party modules, so this
+// implements exactly the subset the schema needs — block mappings,
+// block sequences of mappings or scalars, scalars, quotes and
+// comments — with strict unknown-key errors that name the field path.
+// Flow syntax ({...}, [...]), anchors, multi-line scalars and tabs are
+// rejected with actionable messages.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"soemt/internal/workload"
+)
+
+// node is the parsed generic tree: map[string]node, []node, or a
+// scalar string.
+type node any
+
+type yline struct {
+	no     int // 1-based source line
+	indent int
+	text   string
+}
+
+// Parse decodes a YAML workload spec document.
+func Parse(data []byte) (*Spec, error) {
+	root, err := parseTree(data)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := root.(map[string]node)
+	if !ok {
+		return nil, fmt.Errorf("spec: document root must be a mapping (name:, seed:, clients:, ...)")
+	}
+	d := &decoder{}
+	s := d.spec(m)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// --- generic tree parser -------------------------------------------------
+
+func parseTree(data []byte) (node, error) {
+	var lines []yline
+	for i, raw := range strings.Split(string(data), "\n") {
+		text := stripComment(raw)
+		trimmed := strings.TrimLeft(text, " ")
+		if strings.TrimSpace(trimmed) == "" {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "\t") {
+			return nil, fmt.Errorf("spec: line %d: tabs are not allowed in indentation", i+1)
+		}
+		lines = append(lines, yline{no: i + 1, indent: len(text) - len(trimmed), text: strings.TrimSpace(trimmed)})
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("spec: empty document")
+	}
+	pos := 0
+	n, err := parseBlock(lines, &pos, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if pos != len(lines) {
+		return nil, fmt.Errorf("spec: line %d: unexpected de-indent to column %d", lines[pos].no, lines[pos].indent)
+	}
+	return n, nil
+}
+
+// stripComment removes a trailing comment, respecting quotes.
+func stripComment(s string) string {
+	inS, inD := false, false
+	for i, r := range s {
+		switch r {
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '#':
+			if !inS && !inD && (i == 0 || s[i-1] == ' ' || s[i-1] == '\t') {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func parseBlock(lines []yline, pos *int, indent int) (node, error) {
+	if strings.HasPrefix(lines[*pos].text, "- ") || lines[*pos].text == "-" {
+		return parseSeq(lines, pos, indent)
+	}
+	return parseMap(lines, pos, indent)
+}
+
+func parseMap(lines []yline, pos *int, indent int) (node, error) {
+	m := map[string]node{}
+	for *pos < len(lines) {
+		ln := lines[*pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, fmt.Errorf("spec: line %d: unexpected indent (column %d, expected %d)", ln.no, ln.indent, indent)
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return nil, fmt.Errorf("spec: line %d: sequence item in a mapping block", ln.no)
+		}
+		key, val, err := splitKey(ln)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("spec: line %d: duplicate key %q", ln.no, key)
+		}
+		*pos++
+		if val != "" {
+			m[key] = val
+			continue
+		}
+		// Nested block: everything more-indented (or a sequence at the
+		// same indent, which YAML permits for "key:\n- item").
+		if *pos >= len(lines) || lines[*pos].indent < indent ||
+			(lines[*pos].indent == indent && !seqStart(lines[*pos].text)) {
+			return nil, fmt.Errorf("spec: line %d: key %q has no value (empty blocks are not supported)", ln.no, key)
+		}
+		child, err := parseBlock(lines, pos, lines[*pos].indent)
+		if err != nil {
+			return nil, err
+		}
+		m[key] = child
+	}
+	return m, nil
+}
+
+func seqStart(text string) bool { return strings.HasPrefix(text, "- ") || text == "-" }
+
+func parseSeq(lines []yline, pos *int, indent int) (node, error) {
+	var seq []node
+	for *pos < len(lines) {
+		ln := lines[*pos]
+		if ln.indent != indent || !seqStart(ln.text) {
+			if ln.indent > indent {
+				return nil, fmt.Errorf("spec: line %d: unexpected indent inside sequence", ln.no)
+			}
+			break
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		if rest == "" {
+			return nil, fmt.Errorf("spec: line %d: empty sequence items are not supported", ln.no)
+		}
+		if !strings.Contains(rest, ": ") && !strings.HasSuffix(rest, ":") {
+			// Scalar item.
+			seq = append(seq, unquote(rest))
+			*pos++
+			continue
+		}
+		// Inline mapping start: re-parse the remainder as the first key
+		// of a mapping indented two columns past the dash.
+		itemIndent := indent + 2
+		rewritten := yline{no: ln.no, indent: itemIndent, text: rest}
+		sub := append([]yline{rewritten}, collectItem(lines, *pos+1, itemIndent)...)
+		subPos := 0
+		item, err := parseMap(sub, &subPos, itemIndent)
+		if err != nil {
+			return nil, err
+		}
+		if subPos != len(sub) {
+			return nil, fmt.Errorf("spec: line %d: malformed sequence item", sub[subPos].no)
+		}
+		seq = append(seq, item)
+		*pos += 1 + len(sub) - 1
+	}
+	return seq, nil
+}
+
+// collectItem gathers the continuation lines of a sequence item: all
+// lines indented at least to the item's body column.
+func collectItem(lines []yline, from, itemIndent int) []yline {
+	var out []yline
+	for i := from; i < len(lines); i++ {
+		if lines[i].indent < itemIndent {
+			break
+		}
+		out = append(out, lines[i])
+	}
+	return out
+}
+
+func splitKey(ln yline) (key, val string, err error) {
+	idx := strings.Index(ln.text, ":")
+	if idx <= 0 {
+		return "", "", fmt.Errorf("spec: line %d: expected \"key: value\", got %q", ln.no, ln.text)
+	}
+	key = strings.TrimSpace(ln.text[:idx])
+	val = strings.TrimSpace(ln.text[idx+1:])
+	if strings.HasPrefix(val, "{") || strings.HasPrefix(val, "[") {
+		return "", "", fmt.Errorf("spec: line %d: flow syntax ({...}/[...]) is not supported; use block style", ln.no)
+	}
+	return key, unquote(val), nil
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}
+
+// --- typed decoding ------------------------------------------------------
+
+type decoder struct{ err error }
+
+func (d *decoder) fail(path, format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("spec: %s: %s", path, fmt.Sprintf(format, args...))
+	}
+}
+
+// checkKeys rejects unknown keys with the allowed set in the message.
+func (d *decoder) checkKeys(m map[string]node, path string, allowed ...string) {
+	ok := map[string]bool{}
+	for _, k := range allowed {
+		ok[k] = true
+	}
+	var bad []string
+	for k := range m {
+		if !ok[k] {
+			bad = append(bad, k)
+		}
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		sort.Strings(allowed)
+		d.fail(path, "unknown key(s) %s (allowed: %s)", strings.Join(bad, ", "), strings.Join(allowed, ", "))
+	}
+}
+
+func (d *decoder) scalar(m map[string]node, path, key string) (string, bool) {
+	v, ok := m[key]
+	if !ok || d.err != nil {
+		return "", false
+	}
+	s, isScalar := v.(string)
+	if !isScalar {
+		d.fail(path+"."+key, "expected a scalar value")
+		return "", false
+	}
+	return s, true
+}
+
+func (d *decoder) str(m map[string]node, path, key string) string {
+	s, _ := d.scalar(m, path, key)
+	return s
+}
+
+func (d *decoder) uint(m map[string]node, path, key string, def uint64) uint64 {
+	s, ok := d.scalar(m, path, key)
+	if !ok {
+		return def
+	}
+	v, err := strconv.ParseUint(strings.ReplaceAll(s, "_", ""), 0, 64)
+	if err != nil {
+		d.fail(path+"."+key, "%q is not an unsigned integer", s)
+		return def
+	}
+	return v
+}
+
+func (d *decoder) int(m map[string]node, path, key string, def int) int {
+	s, ok := d.scalar(m, path, key)
+	if !ok {
+		return def
+	}
+	v, err := strconv.Atoi(strings.ReplaceAll(s, "_", ""))
+	if err != nil {
+		d.fail(path+"."+key, "%q is not an integer", s)
+		return def
+	}
+	return v
+}
+
+func (d *decoder) float(m map[string]node, path, key string, def float64) float64 {
+	s, ok := d.scalar(m, path, key)
+	if !ok {
+		return def
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		d.fail(path+"."+key, "%q is not a number", s)
+		return def
+	}
+	return v
+}
+
+func (d *decoder) duration(m map[string]node, path, key string) time.Duration {
+	s, ok := d.scalar(m, path, key)
+	if !ok {
+		return 0
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		d.fail(path+"."+key, "%q is not a duration (want e.g. 30s, 2m)", s)
+		return 0
+	}
+	return v
+}
+
+func (d *decoder) mapAt(m map[string]node, path, key string) (map[string]node, bool) {
+	v, ok := m[key]
+	if !ok || d.err != nil {
+		return nil, false
+	}
+	mm, isMap := v.(map[string]node)
+	if !isMap {
+		d.fail(path+"."+key, "expected a nested mapping")
+		return nil, false
+	}
+	return mm, true
+}
+
+func (d *decoder) listAt(m map[string]node, path, key string) ([]node, bool) {
+	v, ok := m[key]
+	if !ok || d.err != nil {
+		return nil, false
+	}
+	l, isList := v.([]node)
+	if !isList {
+		d.fail(path+"."+key, "expected a sequence (- item)")
+		return nil, false
+	}
+	return l, true
+}
+
+func (d *decoder) spec(m map[string]node) *Spec {
+	const path = "(top level)"
+	d.checkKeys(m, path, "name", "seed", "scale", "duration", "profiles", "clients")
+	s := &Spec{
+		Name:     d.str(m, path, "name"),
+		Seed:     d.uint(m, path, "seed", 0),
+		Scale:    d.str(m, path, "scale"),
+		Duration: d.duration(m, path, "duration"),
+	}
+	if pm, ok := d.mapAt(m, path, "profiles"); ok {
+		s.Profiles = map[string]workload.Profile{}
+		for name, v := range pm {
+			ppath := "profiles." + name
+			prof, isMap := v.(map[string]node)
+			if !isMap {
+				d.fail(ppath, "expected a mapping of profile fields")
+				continue
+			}
+			s.Profiles[name] = d.profile(prof, ppath, name, s.Seed)
+		}
+	}
+	if cl, ok := d.listAt(m, path, "clients"); ok {
+		for i, v := range cl {
+			cpath := fmt.Sprintf("clients[%d]", i)
+			cm, isMap := v.(map[string]node)
+			if !isMap {
+				d.fail(cpath, "expected a mapping (name:, rate:, ...)")
+				continue
+			}
+			s.Clients = append(s.Clients, d.client(cm, cpath))
+		}
+	}
+	return s
+}
+
+func (d *decoder) client(m map[string]node, path string) Client {
+	d.checkKeys(m, path, "name", "count", "rate", "skew", "zipf_s", "arrival", "workloads")
+	c := Client{
+		Name:  d.str(m, path, "name"),
+		Count: d.int(m, path, "count", 1),
+		Rate:  d.float(m, path, "rate", 0),
+		Skew:  Skew(d.str(m, path, "skew")),
+		ZipfS: d.float(m, path, "zipf_s", 0),
+	}
+	if am, ok := d.mapAt(m, path, "arrival"); ok {
+		d.checkKeys(am, path+".arrival", "process", "shape")
+		c.Arrival = Arrival{
+			Process: d.str(am, path+".arrival", "process"),
+			Shape:   d.float(am, path+".arrival", "shape", 0),
+		}
+	} else if d.err == nil {
+		d.fail(path, "arrival block is required (process: poisson|gamma|weibull)")
+	}
+	if wl, ok := d.listAt(m, path, "workloads"); ok {
+		for j, v := range wl {
+			wpath := fmt.Sprintf("%s.workloads[%d]", path, j)
+			wm, isMap := v.(map[string]node)
+			if !isMap {
+				d.fail(wpath, "expected a mapping (pair:/bench:, weight:, ...)")
+				continue
+			}
+			c.Workloads = append(c.Workloads, d.entry(wm, wpath))
+		}
+	}
+	return c
+}
+
+func (d *decoder) entry(m map[string]node, path string) Entry {
+	d.checkKeys(m, path, "pair", "bench", "f", "tier", "weight", "phases")
+	e := Entry{
+		Pair:   d.str(m, path, "pair"),
+		Bench:  d.str(m, path, "bench"),
+		F:      d.float(m, path, "f", 0),
+		Tier:   d.str(m, path, "tier"),
+		Weight: d.float(m, path, "weight", 1),
+	}
+	e.Phases = d.phases(m, path)
+	return e
+}
+
+func (d *decoder) phases(m map[string]node, path string) []workload.Phase {
+	pl, ok := d.listAt(m, path, "phases")
+	if !ok {
+		return nil
+	}
+	var out []workload.Phase
+	for k, v := range pl {
+		ppath := fmt.Sprintf("%s.phases[%d]", path, k)
+		pm, isMap := v.(map[string]node)
+		if !isMap {
+			d.fail(ppath, "expected a mapping (len:, cold_scale:, ilp_scale:)")
+			continue
+		}
+		d.checkKeys(pm, ppath, "len", "cold_scale", "ilp_scale")
+		out = append(out, workload.Phase{
+			Len:       d.uint(pm, ppath, "len", 0),
+			ColdScale: d.float(pm, ppath, "cold_scale", 1),
+			IlpScale:  d.float(pm, ppath, "ilp_scale", 1),
+		})
+	}
+	return out
+}
+
+func (d *decoder) profile(m map[string]node, path, name string, specSeed uint64) workload.Profile {
+	d.checkKeys(m, path,
+		"seed", "frac_load", "frac_store", "frac_branch", "frac_mul", "frac_div",
+		"frac_fadd", "frac_fmul", "frac_fdiv", "frac_pause",
+		"chain_frac", "dep_window", "hot_bytes", "warm_bytes", "cold_bytes",
+		"p_warm", "p_cold", "stride_frac", "loop_len", "taken_bias", "noise_frac", "phases")
+	p := workload.Profile{
+		Name:       name,
+		Seed:       d.uint(m, path, "seed", specSeed^0x5EED),
+		FracLoad:   d.float(m, path, "frac_load", 0),
+		FracStore:  d.float(m, path, "frac_store", 0),
+		FracBranch: d.float(m, path, "frac_branch", 0),
+		FracMul:    d.float(m, path, "frac_mul", 0),
+		FracDiv:    d.float(m, path, "frac_div", 0),
+		FracFAdd:   d.float(m, path, "frac_fadd", 0),
+		FracFMul:   d.float(m, path, "frac_fmul", 0),
+		FracFDiv:   d.float(m, path, "frac_fdiv", 0),
+		FracPause:  d.float(m, path, "frac_pause", 0),
+		ChainFrac:  d.float(m, path, "chain_frac", 0),
+		DepWindow:  d.int(m, path, "dep_window", 8),
+		HotBytes:   d.uint(m, path, "hot_bytes", 16<<10),
+		WarmBytes:  d.uint(m, path, "warm_bytes", 128<<10),
+		ColdBytes:  d.uint(m, path, "cold_bytes", 64<<20),
+		PWarm:      d.float(m, path, "p_warm", 0),
+		PCold:      d.float(m, path, "p_cold", 0),
+		StrideFrac: d.float(m, path, "stride_frac", 0),
+		LoopLen:    d.uint(m, path, "loop_len", 1024),
+		TakenBias:  d.float(m, path, "taken_bias", 0.6),
+		NoiseFrac:  d.float(m, path, "noise_frac", 0.02),
+	}
+	p.Phases = d.phases(m, path)
+	return p
+}
+
+// --- encoding ------------------------------------------------------------
+
+// Encode renders the spec as a YAML document Parse round-trips. Fitted
+// specs from the calibration harness are written with it.
+func (s *Spec) Encode() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "name: %s\n", s.Name)
+	fmt.Fprintf(&b, "seed: %d\n", s.Seed)
+	if s.Scale != "" {
+		fmt.Fprintf(&b, "scale: %s\n", s.Scale)
+	}
+	fmt.Fprintf(&b, "duration: %s\n", s.Duration)
+	if len(s.Profiles) > 0 {
+		b.WriteString("profiles:\n")
+		for _, name := range s.profileNames() {
+			p := s.Profiles[name]
+			fmt.Fprintf(&b, "  %s:\n", name)
+			fmt.Fprintf(&b, "    seed: %d\n", p.Seed)
+			for _, f := range []struct {
+				key string
+				v   float64
+			}{
+				{"frac_load", p.FracLoad}, {"frac_store", p.FracStore},
+				{"frac_branch", p.FracBranch}, {"frac_mul", p.FracMul},
+				{"frac_div", p.FracDiv}, {"frac_fadd", p.FracFAdd},
+				{"frac_fmul", p.FracFMul}, {"frac_fdiv", p.FracFDiv},
+				{"frac_pause", p.FracPause}, {"chain_frac", p.ChainFrac},
+				{"p_warm", p.PWarm}, {"p_cold", p.PCold},
+				{"stride_frac", p.StrideFrac}, {"taken_bias", p.TakenBias},
+				{"noise_frac", p.NoiseFrac},
+			} {
+				if f.v != 0 {
+					fmt.Fprintf(&b, "    %s: %g\n", f.key, f.v)
+				}
+			}
+			fmt.Fprintf(&b, "    dep_window: %d\n", p.DepWindow)
+			fmt.Fprintf(&b, "    hot_bytes: %d\n", p.HotBytes)
+			fmt.Fprintf(&b, "    warm_bytes: %d\n", p.WarmBytes)
+			fmt.Fprintf(&b, "    cold_bytes: %d\n", p.ColdBytes)
+			fmt.Fprintf(&b, "    loop_len: %d\n", p.LoopLen)
+			encodePhases(&b, "    ", p.Phases)
+		}
+	}
+	b.WriteString("clients:\n")
+	for _, c := range s.Clients {
+		fmt.Fprintf(&b, "  - name: %s\n", c.Name)
+		fmt.Fprintf(&b, "    count: %d\n", c.Count)
+		fmt.Fprintf(&b, "    rate: %g\n", c.Rate)
+		if c.Skew != "" && c.Skew != SkewUniform {
+			fmt.Fprintf(&b, "    skew: %s\n", c.Skew)
+			if c.ZipfS != 0 {
+				fmt.Fprintf(&b, "    zipf_s: %g\n", c.ZipfS)
+			}
+		}
+		b.WriteString("    arrival:\n")
+		fmt.Fprintf(&b, "      process: %s\n", c.Arrival.Process)
+		if c.Arrival.Shape != 0 {
+			fmt.Fprintf(&b, "      shape: %g\n", c.Arrival.Shape)
+		}
+		b.WriteString("    workloads:\n")
+		for _, e := range c.Workloads {
+			if e.Pair != "" {
+				fmt.Fprintf(&b, "      - pair: %s\n", e.Pair)
+			} else {
+				fmt.Fprintf(&b, "      - bench: %s\n", e.Bench)
+			}
+			if e.F != 0 {
+				fmt.Fprintf(&b, "        f: %g\n", e.F)
+			}
+			if e.Tier != "" {
+				fmt.Fprintf(&b, "        tier: %s\n", e.Tier)
+			}
+			fmt.Fprintf(&b, "        weight: %g\n", e.Weight)
+			encodePhases(&b, "        ", e.Phases)
+		}
+	}
+	return []byte(b.String())
+}
+
+func encodePhases(b *strings.Builder, indent string, phases []workload.Phase) {
+	if len(phases) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "%sphases:\n", indent)
+	for _, ph := range phases {
+		fmt.Fprintf(b, "%s  - len: %d\n", indent, ph.Len)
+		fmt.Fprintf(b, "%s    cold_scale: %g\n", indent, ph.ColdScale)
+		fmt.Fprintf(b, "%s    ilp_scale: %g\n", indent, ph.IlpScale)
+	}
+}

@@ -1,0 +1,232 @@
+package spec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"soemt/internal/workload"
+)
+
+const sampleDoc = `# mixed interactive + batch population
+name: mixed
+seed: 42
+scale: tiny
+duration: 2s
+clients:
+  - name: interactive
+    count: 4
+    rate: 40
+    skew: zipf
+    zipf_s: 1.1
+    arrival:
+      process: weibull
+      shape: 0.6
+    workloads:
+      - pair: gcc:mcf   # the paper's fairness-critical pairing
+        f: 0.5
+        weight: 3
+      - bench: art
+        weight: 1
+  - name: batch
+    count: 2
+    rate: 15
+    arrival:
+      process: gamma
+      shape: 2
+    workloads:
+      - pair: swim:crafty
+        f: 1
+        tier: exact
+        weight: 1
+`
+
+func TestParseSampleDoc(t *testing.T) {
+	s, err := Parse([]byte(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := replaySpec(42)
+	want.Name = "mixed"
+	if s.Name != "mixed" || s.Seed != 42 || s.Scale != "tiny" || s.Duration != 2*time.Second {
+		t.Fatalf("header mismatch: %+v", s)
+	}
+	if len(s.Clients) != 2 {
+		t.Fatalf("got %d clients, want 2", len(s.Clients))
+	}
+	c := s.Clients[0]
+	if c.Name != "interactive" || c.Count != 4 || c.Rate != 40 || c.Skew != SkewZipf || c.ZipfS != 1.1 {
+		t.Fatalf("client[0] mismatch: %+v", c)
+	}
+	if c.Arrival != (Arrival{Process: ProcWeibull, Shape: 0.6}) {
+		t.Fatalf("client[0] arrival mismatch: %+v", c.Arrival)
+	}
+	if len(c.Workloads) != 2 || c.Workloads[0].Pair != "gcc:mcf" || c.Workloads[0].Weight != 3 ||
+		c.Workloads[1].Bench != "art" {
+		t.Fatalf("client[0] workloads mismatch: %+v", c.Workloads)
+	}
+	if s.Clients[1].Workloads[0].Tier != "exact" {
+		t.Fatalf("tier not parsed: %+v", s.Clients[1].Workloads[0])
+	}
+
+	// The parsed doc is the same population replaySpec builds in Go —
+	// their schedules must agree byte-for-byte.
+	got, err := s.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := want.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(EncodeSchedule(got), EncodeSchedule(exp)) {
+		t.Fatal("YAML spec and equivalent Go spec produced different schedules")
+	}
+}
+
+func parseErr(t *testing.T, doc, frag string) {
+	t.Helper()
+	_, err := Parse([]byte(doc))
+	if err == nil {
+		t.Fatalf("Parse accepted bad doc, wanted error containing %q", frag)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Fatalf("error %q does not mention %q", err, frag)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	parseErr(t, "", "empty document")
+	parseErr(t, "name: x\nbogus_key: 1\nduration: 1s\nclients:\n  - name: c\n", "unknown key(s) bogus_key")
+	parseErr(t, "name: x\n\tseed: 1\n", "tabs are not allowed")
+	parseErr(t, "name: x\nseed: {a: 1}\n", "flow syntax")
+	parseErr(t, "name: x\nname: y\n", `duplicate key "name"`)
+	parseErr(t, "name: x\nclients:\n", `key "clients" has no value`)
+	parseErr(t, "name: x\nseed: twelve\n", "not an unsigned integer")
+	parseErr(t, "name: x\nduration: fast\n", "not a duration")
+	// Unknown keys inside nested blocks carry their path.
+	parseErr(t, `name: x
+duration: 1s
+clients:
+  - name: c
+    count: 1
+    rate: 1
+    arrival:
+      process: poisson
+      burst: 3
+    workloads:
+      - pair: gcc:mcf
+`, "clients[0].arrival: unknown key(s) burst")
+	// A doc that parses but fails semantic validation reports the
+	// validation error.
+	parseErr(t, `name: x
+duration: 1s
+clients:
+  - name: c
+    count: 1
+    rate: 1
+    arrival:
+      process: gamma
+    workloads:
+      - pair: gcc:mcf
+`, "gamma requires a positive shape")
+	// Missing arrival block is caught at decode with a hint.
+	parseErr(t, `name: x
+duration: 1s
+clients:
+  - name: c
+    count: 1
+    rate: 1
+    workloads:
+      - pair: gcc:mcf
+`, "arrival block is required")
+}
+
+func TestParseInlineProfile(t *testing.T) {
+	doc := `name: fitted
+seed: 7
+duration: 1s
+profiles:
+  fit-src:
+    frac_load: 0.3
+    frac_store: 0.1
+    frac_branch: 0.15
+    chain_frac: 0.4
+    p_warm: 0.2
+    p_cold: 0.05
+    phases:
+      - len: 200000
+        cold_scale: 2
+        ilp_scale: 0.8
+clients:
+  - name: replay
+    count: 1
+    rate: 5
+    arrival:
+      process: poisson
+    workloads:
+      - bench: fit-src
+`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := s.Resolve("fit-src")
+	if !ok {
+		t.Fatal("inline profile not resolvable")
+	}
+	if p.FracLoad != 0.3 || p.PCold != 0.05 || p.ChainFrac != 0.4 {
+		t.Fatalf("profile fields mismatch: %+v", p)
+	}
+	if len(p.Phases) != 1 || p.Phases[0].Len != 200000 || p.Phases[0].ColdScale != 2 {
+		t.Fatalf("profile phases mismatch: %+v", p.Phases)
+	}
+	// Defaults fill the unset structural knobs.
+	if p.DepWindow != 8 || p.LoopLen != 1024 || p.TakenBias != 0.6 {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+}
+
+// Encode must round-trip through Parse to an equivalent spec —
+// the calibration harness depends on this to emit fitted specs.
+func TestEncodeRoundTrip(t *testing.T) {
+	orig, err := Parse([]byte(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse(orig.Encode())
+	if err != nil {
+		t.Fatalf("Encode output does not re-parse: %v\n---\n%s", err, orig.Encode())
+	}
+	s1, _ := orig.Schedule()
+	s2, _ := again.Schedule()
+	if !bytes.Equal(EncodeSchedule(s1), EncodeSchedule(s2)) {
+		t.Fatal("round-tripped spec produced a different schedule")
+	}
+}
+
+func TestEncodeRoundTripInlineProfile(t *testing.T) {
+	s := validSpec()
+	prof, ok := workload.ByName("gcc")
+	if !ok {
+		t.Fatal("built-in gcc missing")
+	}
+	prof.Name = ""
+	prof.Phases = []workload.Phase{{Len: 1000, ColdScale: 1.5, IlpScale: 0.9}}
+	s.Profiles = map[string]workload.Profile{"fit": prof}
+	s.Clients[0].Workloads = []Entry{{Bench: "fit", Weight: 1}}
+	again, err := Parse(s.Encode())
+	if err != nil {
+		t.Fatalf("inline-profile Encode does not re-parse: %v\n---\n%s", err, s.Encode())
+	}
+	p, ok := again.Resolve("fit")
+	if !ok {
+		t.Fatal("inline profile lost in round trip")
+	}
+	want := s.Profiles["fit"]
+	want.Name = "fit"
+	if p.FracLoad != want.FracLoad || p.PCold != want.PCold || len(p.Phases) != 1 {
+		t.Fatalf("round-tripped profile mismatch:\ngot  %+v\nwant %+v", p, want)
+	}
+}

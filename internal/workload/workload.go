@@ -21,6 +21,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"soemt/internal/isa"
@@ -85,12 +86,53 @@ type Profile struct {
 	Phases []Phase
 }
 
+// finiteUnit reports whether v is a finite value in [0, 1].
+func finiteUnit(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0 && v <= 1
+}
+
 // Validate reports configuration errors in the profile.
 func (p *Profile) Validate() error {
-	sum := p.FracLoad + p.FracStore + p.FracBranch + p.FracMul +
-		p.FracDiv + p.FracFAdd + p.FracFMul + p.FracFDiv + p.FracPause
-	if sum > 1 {
-		return fmt.Errorf("workload %q: instruction mix sums to %.3f > 1", p.Name, sum)
+	// Every instruction-mix fraction must individually be a valid
+	// probability. Checking only the sum is not enough: a negative
+	// fraction can cancel an oversized one (e.g. FracLoad=1.2,
+	// FracStore=-0.3 sums to 0.9) and the generator's cumulative cdf
+	// thresholds would silently exceed 1 while the implicit ALU
+	// remainder goes negative.
+	fracs := []struct {
+		name string
+		v    float64
+	}{
+		{"FracLoad", p.FracLoad}, {"FracStore", p.FracStore},
+		{"FracBranch", p.FracBranch}, {"FracMul", p.FracMul},
+		{"FracDiv", p.FracDiv}, {"FracFAdd", p.FracFAdd},
+		{"FracFMul", p.FracFMul}, {"FracFDiv", p.FracFDiv},
+		{"FracPause", p.FracPause},
+	}
+	sum := 0.0
+	for _, f := range fracs {
+		if !finiteUnit(f.v) {
+			return fmt.Errorf("workload %q: instruction-mix fraction %s = %v must be in [0, 1]",
+				p.Name, f.name, f.v)
+		}
+		sum += f.v
+	}
+	if sum > 1+1e-12 {
+		return fmt.Errorf("workload %q: instruction mix sums to %.3f > 1 (the implicit ALU remainder would be negative)",
+			p.Name, sum)
+	}
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"PWarm", p.PWarm}, {"PCold", p.PCold},
+		{"ChainFrac", p.ChainFrac}, {"StrideFrac", p.StrideFrac},
+		{"TakenBias", p.TakenBias}, {"NoiseFrac", p.NoiseFrac},
+	}
+	for _, f := range probs {
+		if !finiteUnit(f.v) {
+			return fmt.Errorf("workload %q: %s = %v must be in [0, 1]", p.Name, f.name, f.v)
+		}
 	}
 	if p.PWarm+p.PCold > 1 {
 		return fmt.Errorf("workload %q: PWarm+PCold = %.3f > 1", p.Name, p.PWarm+p.PCold)
@@ -104,9 +146,32 @@ func (p *Profile) Validate() error {
 	if p.HotBytes == 0 || p.WarmBytes == 0 || p.ColdBytes == 0 {
 		return fmt.Errorf("workload %q: memory regions must be non-empty", p.Name)
 	}
+	// Phase scale factors are applied mid-stream by phaseAt; the scaled
+	// probabilities must stay in range for every phase, checked here
+	// (phases are static) rather than clamped silently at generation
+	// time.
 	for i, ph := range p.Phases {
 		if ph.Len == 0 {
 			return fmt.Errorf("workload %q: phase %d has zero length", p.Name, i)
+		}
+		if math.IsNaN(ph.ColdScale) || math.IsInf(ph.ColdScale, 0) || ph.ColdScale < 0 {
+			return fmt.Errorf("workload %q: phase %d ColdScale = %v must be finite and >= 0",
+				p.Name, i, ph.ColdScale)
+		}
+		if math.IsNaN(ph.IlpScale) || math.IsInf(ph.IlpScale, 0) || ph.IlpScale < 0 {
+			return fmt.Errorf("workload %q: phase %d IlpScale = %v must be finite and >= 0",
+				p.Name, i, ph.IlpScale)
+		}
+		if pc := p.PCold * ph.ColdScale; pc > 1 {
+			return fmt.Errorf("workload %q: phase %d scales PCold to %.3f > 1 (PCold=%v × ColdScale=%v)",
+				p.Name, i, pc, p.PCold, ph.ColdScale)
+		} else if pc+p.PWarm > 1 {
+			return fmt.Errorf("workload %q: phase %d scaled PCold %.3f + PWarm %.3f > 1",
+				p.Name, i, pc, p.PWarm)
+		}
+		if cf := p.ChainFrac * ph.IlpScale; cf > 1 {
+			return fmt.Errorf("workload %q: phase %d scales ChainFrac to %.3f > 1 (ChainFrac=%v × IlpScale=%v)",
+				p.Name, i, cf, p.ChainFrac, ph.IlpScale)
 		}
 	}
 	return nil
@@ -229,15 +294,10 @@ func (g *Generator) phaseAt(seq uint64) (pCold, chainFrac float64) {
 	pos := seq % g.phaseTotal
 	for _, ph := range g.prof.Phases {
 		if pos < ph.Len {
-			pCold *= ph.ColdScale
-			chainFrac *= ph.IlpScale
-			if pCold > 1 {
-				pCold = 1
-			}
-			if chainFrac > 1 {
-				chainFrac = 1
-			}
-			return pCold, chainFrac
+			// Validate guarantees the scaled values stay in [0, 1], so no
+			// clamping happens here: an out-of-range phase is a
+			// configuration error, not something to hide mid-stream.
+			return pCold * ph.ColdScale, chainFrac * ph.IlpScale
 		}
 		pos -= ph.Len
 	}

@@ -221,14 +221,105 @@ func TestPhaseScalingChangesColdRate(t *testing.T) {
 	}
 }
 
-func TestPhaseColdScaleClamped(t *testing.T) {
+// Regression test for the instruction-mix validation hole: a negative
+// fraction cancelling an oversized one kept the sum under 1, so a
+// profile whose cdf thresholds exceeded 1 (FracLoad=1.2) passed
+// Validate and silently generated a negative implicit ALU remainder.
+func TestValidateRejectsBadMixFractions(t *testing.T) {
 	p := basicProfile()
-	p.PCold = 0.5
-	p.Phases = []Phase{{Len: 1000, ColdScale: 10, IlpScale: 10}}
+	p.FracLoad = 1.2
+	p.FracStore = -0.3 // sum = 0.9+0.15 < 1: the old sum-only check passed
+	if err := p.Validate(); err == nil {
+		t.Fatal("profile with FracLoad=1.2/FracStore=-0.3 passed Validate")
+	}
+	p = basicProfile()
+	p.FracPause = -0.01
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative FracPause passed Validate")
+	}
+	p = basicProfile()
+	p.FracLoad = math.NaN()
+	if err := p.Validate(); err == nil {
+		t.Fatal("NaN FracLoad passed Validate")
+	}
+	// The sum check still rejects an all-positive overfull mix.
+	p = basicProfile()
+	p.FracLoad, p.FracStore, p.FracBranch = 0.6, 0.4, 0.2
+	if err := p.Validate(); err == nil {
+		t.Fatal("mix summing to 1.2 passed Validate")
+	}
+	// Other probability knobs are covered by the same class of check.
+	p = basicProfile()
+	p.NoiseFrac = 1.5
+	if err := p.Validate(); err == nil {
+		t.Fatal("NoiseFrac=1.5 passed Validate")
+	}
+	p = basicProfile()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+}
+
+// Regression test for unvalidated phase scale factors: a negative
+// ColdScale, or one pushing the scaled PCold/ChainFrac outside [0, 1],
+// used to pass Validate and rely on silent mid-stream clamping.
+func TestValidateRejectsBadPhaseScales(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Profile)
+	}{
+		{"negative ColdScale", func(p *Profile) {
+			p.Phases = []Phase{{Len: 1000, ColdScale: -1, IlpScale: 1}}
+		}},
+		{"negative IlpScale", func(p *Profile) {
+			p.Phases = []Phase{{Len: 1000, ColdScale: 1, IlpScale: -0.5}}
+		}},
+		{"PCold scaled past 1", func(p *Profile) {
+			p.PCold = 0.5
+			p.Phases = []Phase{{Len: 1000, ColdScale: 10, IlpScale: 1}}
+		}},
+		{"scaled PCold + PWarm past 1", func(p *Profile) {
+			p.PCold = 0.3
+			p.PWarm = 0.5
+			p.Phases = []Phase{{Len: 1000, ColdScale: 2, IlpScale: 1}}
+		}},
+		{"ChainFrac scaled past 1", func(p *Profile) {
+			p.ChainFrac = 0.6
+			p.Phases = []Phase{{Len: 1000, ColdScale: 1, IlpScale: 2}}
+		}},
+		{"Inf ColdScale", func(p *Profile) {
+			p.Phases = []Phase{{Len: 1000, ColdScale: math.Inf(1), IlpScale: 1}}
+		}},
+	}
+	for _, tc := range cases {
+		p := basicProfile()
+		tc.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: passed Validate", tc.name)
+		}
+	}
+	// In-range scales still pass, and generation no longer clamps:
+	// phaseAt returns exactly the validated product.
+	p := basicProfile()
+	p.PCold = 0.05
+	p.Phases = []Phase{{Len: 1000, ColdScale: 4, IlpScale: 1.5}}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid phased profile rejected: %v", err)
+	}
 	g := New(p)
 	pc, cf := g.phaseAt(0)
-	if pc > 1 || cf > 1 {
-		t.Fatalf("phase scaling must clamp to 1: pCold=%v chain=%v", pc, cf)
+	if math.Abs(pc-0.2) > 1e-12 || math.Abs(cf-p.ChainFrac*1.5) > 1e-12 {
+		t.Fatalf("phaseAt = (%v, %v), want exact scaled values", pc, cf)
+	}
+}
+
+// Every built-in profile must survive the tightened validation.
+func TestBuiltinProfilesValidate(t *testing.T) {
+	for _, n := range Names() {
+		p := MustByName(n)
+		if err := p.Validate(); err != nil {
+			t.Errorf("built-in profile %s: %v", n, err)
+		}
 	}
 }
 
