@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Hypothesis-harness smoke test: re-run every policy-zoo hypothesis
+# experiment at QuickScale over the pinned workload seeds and fail on
+# any FINDINGS regression — a fresh SUPPORTED/REFUTED status that
+# disagrees with the committed hypotheses/FINDINGS_<policy>.md marker
+# (or a findings file missing its marker). Also re-proves the N=2
+# bit-identity contract the zoo rides on: the seed-golden differential
+# suite and the §9 fast-forward equivalence matrix run under -race.
+#
+#   ci/hypotheses_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== hypothesis experiments @ QuickScale (pinned seeds) ==="
+go run ./cmd/soehyp -all -scale quick -check hypotheses >/dev/null
+
+echo "=== N=2 differential + equivalence matrix under -race ==="
+go test -race -count=1 -timeout 30m ./internal/sim \
+    -run 'TestNThreadSeedDifferential|TestFastForwardEquivalenceMatrix'
+
+echo "hypotheses smoke: OK"

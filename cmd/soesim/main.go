@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"soemt/internal/cli"
@@ -38,15 +39,21 @@ import (
 	"soemt/internal/sim"
 	"soemt/internal/stats"
 	"soemt/internal/trace"
-	"soemt/internal/workload"
 )
 
 func main() {
 	var (
-		threadsArg = flag.String("threads", "", "comma-separated workload profile names")
+		threadsArg = flag.String("threads", "", "workload profile names, colon- or comma-separated (e.g. gcc:mcf:swim:eon)")
 		traceArg   = flag.String("trace", "", "comma-separated trace files (alternative to -threads)")
 		fArg       = flag.Float64("F", 0, "target fairness (0 disables enforcement)")
 		timeshare  = flag.Float64("timeshare", 0, "time-share cycle quota (baseline policy)")
+		policyArg  = flag.String("policy", "", "switch policy by name: "+strings.Join(core.PolicyNames(), ", ")+" (overrides -F/-timeshare selection)")
+		weightsArg = flag.String("weights", "", "comma-separated per-thread grant weights for -policy wfq")
+		cpmSplit   = flag.Float64("cpm-split", 0, "grouped-fairness CPM classification boundary (0 = adaptive midpoint)")
+		missyWt    = flag.Float64("missy-weight", 0, "grouped-fairness missy-group grant weight (0 = default 2)")
+		friendWt   = flag.Float64("friendly-weight", 0, "grouped-fairness friendly-group grant weight (0 = default 1)")
+		minAggFrac = flag.Float64("min-agg-frac", 0, "malthusian demotion threshold as a fraction of peak aggregate IPC (0 = default 0.9)")
+		probeEvery = flag.Int("probe-every", 0, "malthusian reactivation probe period in Δ windows (0 = default 8)")
 		scaleArg   = flag.String("scale", "quick", "tiny, quick or paper")
 		ref        = flag.Bool("ref", false, "also run single-thread references and report fairness")
 		pauseSw    = flag.Bool("pause-switch", false, "switch threads on retired PAUSE hints")
@@ -92,6 +99,17 @@ func main() {
 	}
 	machine := sim.DefaultMachine()
 	switch {
+	case *policyArg != "":
+		p, err := core.PolicyByName(*policyArg, core.PolicyParams{
+			F: *fArg, QuotaCycles: *timeshare,
+			Weights:  parseWeights(*weightsArg),
+			CPMSplit: *cpmSplit, MissyWeight: *missyWt, FriendWt: *friendWt,
+			MinAggFrac: *minAggFrac, ProbeEvery: *probeEvery,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		machine.Controller.Policy = p
 	case *timeshare > 0:
 		machine.Controller.Policy = core.TimeShare{QuotaCycles: *timeshare}
 	case *fArg > 0:
@@ -302,24 +320,31 @@ func parseScale(s string) (sim.Scale, error) {
 	return sim.Scale{}, fmt.Errorf("unknown scale %q", s)
 }
 
+// parseWeights parses a comma-separated weight list; empty means nil
+// (WFQGrant defaults every thread to weight 1).
+func parseWeights(s string) []float64 {
+	if s == "" {
+		return nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad weight %q: %w", part, err))
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
 func buildThreads(threadsArg, traceArg string) ([]sim.ThreadSpec, error) {
 	var specs []sim.ThreadSpec
 	if threadsArg != "" {
-		names := strings.Split(threadsArg, ",")
-		seen := map[string]int{}
-		for i, n := range names {
-			n = strings.TrimSpace(n)
-			p, ok := workload.ByName(n)
-			if !ok {
-				return nil, fmt.Errorf("unknown profile %q (try soetrace -list)", n)
-			}
-			ts := sim.ThreadSpec{Profile: p, Slot: i}
-			// Same-benchmark pairs get the paper's instruction offset.
-			if prev, dup := seen[n]; dup {
-				ts.StartSeq = uint64(prev+1) * 100_000
-			}
-			seen[n] = seen[n] + 1
-			specs = append(specs, ts)
+		// Colon or comma lists; repeated benchmarks get the paper's
+		// 100k-instruction start offset per extra copy.
+		var err error
+		if specs, err = experiments.ParseMix(threadsArg); err != nil {
+			return nil, err
 		}
 	}
 	if traceArg != "" {

@@ -9,6 +9,7 @@
 //	soesweep -sweep drain -pair swim:gzip -values 2,6,12,24,48
 //	soesweep -sweep delta -pair gcc:eon -values 50000,250000,1000000
 //	soesweep -sweep threads -bench swim -max 4
+//	soesweep -sweep threads -threads gcc:eon:gzip:crafty -policy grouped-fairness -F 1
 //
 // Output is an aligned table; -csv switches to CSV for plotting.
 // With -cache-dir every simulation result is persisted under a
@@ -39,6 +40,8 @@ func main() {
 		sweep    = flag.String("sweep", "F", "parameter to sweep: F, misslat, drain, delta, threads")
 		pair     = flag.String("pair", "gcc:eon", "two workloads a:b for pair sweeps")
 		bench    = flag.String("bench", "swim", "workload for -sweep threads")
+		threads  = flag.String("threads", "", "colon-separated mix for -sweep threads (prefix sweep N=2..len under -policy; overrides -bench)")
+		policy   = flag.String("policy", "", "switch policy by name: "+strings.Join(core.PolicyNames(), ", ")+" (overrides -F selection)")
 		points   = flag.Int("points", 9, "number of F points for -sweep F")
 		values   = flag.String("values", "", "comma-separated values for misslat/drain/delta sweeps")
 		maxThr   = flag.Int("max", 4, "maximum thread count for -sweep threads")
@@ -87,7 +90,11 @@ func main() {
 	case "delta":
 		tbl, err = sweepScalar(ctx, cache, wd, *pair, "delta", parseValues(*values, "50000,250000,1000000"), *fArg, sc)
 	case "threads":
-		tbl, err = sweepThreads(ctx, cache, wd, *bench, *maxThr, *fArg, sc)
+		if *threads != "" {
+			tbl, err = sweepMix(ctx, cache, wd, *threads, *policy, *fArg, sc)
+		} else {
+			tbl, err = sweepThreads(ctx, cache, wd, *bench, *maxThr, *fArg, sc)
+		}
 	default:
 		err = fmt.Errorf("unknown sweep %q", *sweep)
 	}
@@ -242,6 +249,56 @@ func policyFor(f float64) core.Policy {
 		return core.EventOnly{}
 	}
 	return core.Fairness{F: f}
+}
+
+// buildPolicy resolves -policy (zoo names, PolicyByName defaults) or
+// falls back to the seed -F selection.
+func buildPolicy(name string, f float64) (core.Policy, error) {
+	if name == "" {
+		return policyFor(f), nil
+	}
+	return core.PolicyByName(name, core.PolicyParams{F: f})
+}
+
+// sweepMix sweeps thread count over prefixes of a heterogeneous mix
+// under one policy, reporting the min-over-pairs fairness metric at
+// each N — the N-thread sweep the hypotheses harness documents
+// (hypotheses/FINDINGS_grouped-fairness.md).
+func sweepMix(ctx context.Context, c *experiments.Cache, wd sim.Watchdog, mix, policyName string, f float64, sc sim.Scale) (*stats.Table, error) {
+	specs, err := experiments.ParseMix(mix)
+	if err != nil {
+		return nil, err
+	}
+	if len(specs) < 2 {
+		return nil, fmt.Errorf("-threads needs at least two workloads, got %q", mix)
+	}
+	pol, err := buildPolicy(policyName, f)
+	if err != nil {
+		return nil, err
+	}
+	tbl := stats.NewTable("threads", "mix", "total IPC", "fairness", "min speedup", "forced/1k")
+	for n := 2; n <= len(specs); n++ {
+		m := sim.DefaultMachine()
+		m.Controller.Policy = pol
+		res, sp, err := experiments.RunMix(ctx, c, wd, m, specs[:n], sc)
+		if err != nil {
+			return tbl, err
+		}
+		minSp := sp[0]
+		names := specs[0].Profile.Name
+		for i := 1; i < n; i++ {
+			if sp[i] < minSp {
+				minSp = sp[i]
+			}
+			names += ":" + specs[i].Profile.Name
+		}
+		tbl.AddRow(fmt.Sprintf("%d", n), names,
+			fmt.Sprintf("%.3f", res.IPCTotal),
+			fmt.Sprintf("%.3f", core.FairnessMetric(sp)),
+			fmt.Sprintf("%.3f", minSp),
+			fmt.Sprintf("%.2f", res.ForcedPer1k()))
+	}
+	return tbl, nil
 }
 
 // The sweep functions return the partially built table alongside any

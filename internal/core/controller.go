@@ -192,6 +192,18 @@ type Controller struct {
 	missLatN    uint64
 	fastForward bool    // Advance may skip provably idle cycle stretches
 	obs         *ctlObs // nil = observability detached (the common case)
+
+	// Policy-zoo mechanism state (DESIGN.md §15). For policies that
+	// implement neither Granter nor Culler, granter and culler stay nil,
+	// active stays all-true, and every path below reduces exactly to the
+	// seed pair engine — the N = 2 differential suite pins this.
+	active      []bool    // dispatch-eligibility mask (Culler policies)
+	granter     Granter   // non-nil: WFQ grant ordering replaces round-robin
+	culler      Culler    // non-nil: policy may demote threads at samples
+	grantCredit []float64 // WFQ virtual time per thread (granter only)
+	grantW      []float64 // per-thread grant weights from the last sample
+	sampleOrd   int       // 1-based Δ-sample ordinal (Culler probe windows)
+	peakAggIPC  float64   // best aggregate window IPC seen (Culler)
 }
 
 // ctlObs holds the controller's observability hooks: the event tracer
@@ -266,6 +278,21 @@ func NewController(pipe *pipeline.Pipeline, cfg Config, threads []*Thread) (*Con
 		return nil, err
 	}
 	c := &Controller{pipe: pipe, cfg: cfg, threads: threads}
+	c.active = make([]bool, len(threads))
+	for i := range c.active {
+		c.active[i] = true
+	}
+	if g, ok := cfg.Policy.(Granter); ok {
+		c.granter = g
+		c.grantCredit = make([]float64, len(threads))
+		c.grantW = make([]float64, len(threads))
+		for i := range c.grantW {
+			c.grantW[i] = 1
+		}
+	}
+	if cu, ok := cfg.Policy.(Culler); ok {
+		c.culler = cu
+	}
 	pipe.SetStream(0, threads[0].Stream, 0)
 	pipe.SetEvents(threads[0].Events)
 	threads[0].eventIdx = pipe.EventIndex()
@@ -294,6 +321,55 @@ func (c *Controller) Truncated() bool { return c.truncated }
 
 // Current returns the index of the running thread.
 func (c *Controller) Current() int { return c.cur }
+
+// Active returns a copy of the dispatch-eligibility mask. All-true
+// unless the policy implements Culler and has demoted threads.
+func (c *Controller) Active() []bool {
+	return append([]bool(nil), c.active...)
+}
+
+// hasOtherActive reports whether any thread besides the running one is
+// dispatch-eligible — the precondition for any thread switch. Always
+// true for multi-thread runs under non-Culler policies.
+func (c *Controller) hasOtherActive() bool {
+	for i, on := range c.active {
+		if on && i != c.cur {
+			return true
+		}
+	}
+	return false
+}
+
+// pickNext chooses the thread a switch dispatches to. Under a Granter
+// policy it is the eligible thread with the least WFQ grant credit
+// (ties to the lowest index); otherwise the next eligible thread in
+// round-robin order, which for an all-active mask is exactly the seed
+// engine's (cur+1) mod N rotation. Returns cur when no other thread is
+// eligible; Step suppresses the switch in that case.
+func (c *Controller) pickNext() int {
+	n := len(c.threads)
+	if c.granter != nil {
+		best := -1
+		for i := 0; i < n; i++ {
+			if i == c.cur || !c.active[i] {
+				continue
+			}
+			if best < 0 || c.grantCredit[i] < c.grantCredit[best] {
+				best = i
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+		return c.cur
+	}
+	for off := 1; off < n; off++ {
+		if j := (c.cur + off) % n; c.active[j] {
+			return j
+		}
+	}
+	return c.cur
+}
 
 // SetFastForward enables (or disables) the idle-cycle fast-forward
 // path in Advance: stretches where the pipeline provably cannot make
@@ -413,7 +489,12 @@ func (c *Controller) Advance(target, maxCycles, start, budget uint64) bool {
 
 func (c *Controller) skipIdle(limit uint64) uint64 {
 	cur := c.threads[c.cur]
-	multi := len(c.threads) > 1
+	// With no other dispatch-eligible thread (single-thread run, or a
+	// Culler demoted every co-runner) Step suppresses all switches, so
+	// the skip must use the single-thread accounting rules. The mask
+	// only changes at Δ samples and skips stop at Δ boundaries, so the
+	// decision is stable across the whole window.
+	multi := len(c.threads) > 1 && c.hasOtherActive()
 
 	// A Step at now itself would sample or force a switch: no skip.
 	if c.cfg.Delta > 0 && c.now > c.resetAt && (c.now-c.resetAt)%c.cfg.Delta == 0 {
@@ -577,18 +658,33 @@ func (c *Controller) Step() {
 	}
 
 	if cause != obs.CauseNone {
-		c.switches.bump(cause)
-		c.switchThread(cause)
+		// A switch with nowhere to go (every co-runner culled) is
+		// suppressed entirely: no squash, no stats — the thread simply
+		// keeps running, as in a single-thread machine.
+		if next := c.pickNext(); next != c.cur {
+			c.switches.bump(cause)
+			c.switchThread(next, cause)
+		}
 	}
 	c.now++
 }
 
-// switchThread squashes the pipeline and rotates to the next thread.
-// cause records why the switch fired (miss-induced vs forced) for the
-// event tracer and registry; the mechanism itself does not depend on
-// it.
-func (c *Controller) switchThread(cause obs.Cause) {
+// switchThread squashes the pipeline and dispatches thread next (as
+// chosen by pickNext; next != cur). cause records why the switch fired
+// (miss-induced vs forced) for the event tracer and registry; the
+// mechanism itself does not depend on it.
+func (c *Controller) switchThread(nextIdx int, cause obs.Cause) {
 	cur := c.threads[c.cur]
+	if c.granter != nil {
+		// Charge the completed visit to the outgoing thread's WFQ
+		// credit: credit += visit_cycles / weight. The minimum 1-cycle
+		// charge keeps zero-progress visits from monopolizing grants.
+		visit := uint64(1)
+		if c.now > cur.switchInAt {
+			visit = c.now - cur.switchInAt
+		}
+		c.grantCredit[c.cur] += float64(visit) / c.grantW[c.cur]
+	}
 	cur.visits++
 	cur.visitInstrs += cur.retired - cur.visitMark
 	cur.eventIdx = c.pipe.EventIndex()
@@ -602,7 +698,7 @@ func (c *Controller) switchThread(cause obs.Cause) {
 	// inflate the Misses counter.
 
 	prev := c.cur
-	c.cur = (c.cur + 1) % len(c.threads)
+	c.cur = nextIdx
 	next := c.threads[c.cur]
 	startAt := c.now + c.cfg.DrainCycles
 	if next.quota > 0 {
@@ -679,6 +775,63 @@ func (c *Controller) sample() {
 	}
 	c.samples = append(c.samples, rec)
 	c.sampleAt = c.now
+	c.sampleOrd++
+
+	if c.culler != nil {
+		var winInstrs uint64
+		for i := range rec.Threads {
+			winInstrs += rec.Threads[i].Window.Instrs
+		}
+		agg := float64(winInstrs) / float64(elapsed)
+		if agg > c.peakAggIPC {
+			c.peakAggIPC = agg
+		}
+		var wasActive []bool
+		if c.granter != nil {
+			wasActive = append([]bool(nil), c.active...)
+		}
+		c.culler.Cull(&CullState{
+			Samples: samples, Active: c.active,
+			Window: c.sampleOrd, AggIPC: agg, PeakIPC: c.peakAggIPC,
+		})
+		// The machine must always have somewhere to dispatch: an
+		// over-eager cull that empties the mask re-activates the
+		// running thread.
+		any := false
+		for _, on := range c.active {
+			any = any || on
+		}
+		if !any {
+			c.active[c.cur] = true
+		}
+		if c.granter != nil {
+			// Start-time-fair-queueing catch-up: a reactivated thread
+			// rejoins at the active credit floor instead of replaying
+			// its accumulated absence and monopolizing grants.
+			floor := math.Inf(1)
+			for i, on := range wasActive {
+				if on && c.active[i] && c.grantCredit[i] < floor {
+					floor = c.grantCredit[i]
+				}
+			}
+			if !math.IsInf(floor, 1) {
+				for i, on := range c.active {
+					if on && !wasActive[i] && c.grantCredit[i] < floor {
+						c.grantCredit[i] = floor
+					}
+				}
+			}
+		}
+	}
+	if c.granter != nil {
+		w := c.granter.GrantWeights(samples)
+		for i := range c.grantW {
+			c.grantW[i] = 1
+			if i < len(w) && finitePos(w[i]) {
+				c.grantW[i] = w[i]
+			}
+		}
+	}
 
 	if h := c.obs; h != nil {
 		h.samples.Inc()

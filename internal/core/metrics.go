@@ -6,28 +6,16 @@ import (
 	"soemt/internal/stats"
 )
 
-// Fairness implements the paper's metric (Eq. 4): the minimum over
-// thread pairs of the ratio of speedups, which equals
-// min(speedup)/max(speedup). Speedup_j = IPC_SOE_j / IPC_ST_j.
-// It returns 1 for fewer than two threads and 0 if any speedup is
-// non-positive (a completely starved thread).
+// FairnessMetric implements the paper's metric (Eq. 4) for any thread
+// count: the minimum over all thread pairs of the ratio of speedups,
+// which equals min(speedup)/max(speedup). Speedup_j = IPC_SOE_j /
+// IPC_ST_j. It returns 1 for fewer than two threads and 0 if any
+// speedup is non-positive or non-finite (a completely starved or
+// degenerate thread). stats.MinPairRatio is the canonical
+// implementation, shared with the analytical model so the simulator
+// and internal/model can never disagree about achieved fairness.
 func FairnessMetric(speedups []float64) float64 {
-	if len(speedups) < 2 {
-		return 1
-	}
-	lo, hi := math.Inf(1), math.Inf(-1)
-	for _, s := range speedups {
-		if s <= 0 {
-			return 0
-		}
-		if s < lo {
-			lo = s
-		}
-		if s > hi {
-			hi = s
-		}
-	}
-	return lo / hi
+	return stats.MinPairRatio(speedups)
 }
 
 // WeightedSpeedup is Snavely et al.'s metric: the sum of the

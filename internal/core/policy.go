@@ -66,7 +66,9 @@ func (EventOnly) Quotas(samples []ThreadSample, missLat float64) []float64 {
 
 // Fairness enforces the paper's mechanism with target fairness F
 // (0 < F <= 1). Every sampling period it recomputes IPSw_j per Eq. 9
-// from the counter-estimated IPM, CPM and IPC_ST.
+// from the counter-estimated IPM, CPM and IPC_ST. The quota math is
+// N-thread aware: the Eq. 9 wait term scales with the number of
+// co-runners (see Quotas).
 type Fairness struct {
 	F float64
 }
@@ -74,7 +76,26 @@ type Fairness struct {
 // Name implements Policy.
 func (p Fairness) Name() string { return "fairness" }
 
-// Quotas implements Policy.
+// Quotas implements Policy. The paper states Eq. 9 for two threads:
+//
+//	IPSw_j = min(IPM_j, IPC_ST_j/F · (CPM_min + Miss_lat))
+//
+// where (CPM_min + Miss_lat) bounds the cycles thread j spends
+// switched out between two of its visits: its single co-runner
+// executes for at least CPM_min cycles before its own miss, whose
+// resolution costs at most Miss_lat more. With N threads, j waits for
+// N-1 co-runner visits per round, so the wait term generalizes to
+//
+//	(N-1)·CPM_min + Miss_lat
+//
+// (the co-runners' miss latencies overlap each other's execution; only
+// the last unoverlapped resolution is charged). For N = 2 the factor
+// is 1 and the formula reduces exactly to the paper's — the N = 2
+// differential suite in internal/sim pins this bit-identically against
+// the seed pair engine. Before this generalization the implementation
+// silently used the two-thread wait term for every N, under-budgeting
+// the quota by up to (N-1)× and over-forcing switches on N ≥ 3 runs
+// (see TestFairnessQuotasThreeSampleNAware).
 func (p Fairness) Quotas(samples []ThreadSample, missLat float64) []float64 {
 	q := make([]float64, len(samples))
 	if len(samples) < 2 || p.F <= 0 {
@@ -92,18 +113,19 @@ func (p Fairness) Quotas(samples []ThreadSample, missLat float64) []float64 {
 	if math.IsInf(cpmMin, 1) {
 		return q
 	}
+	wait := float64(len(samples)-1)*cpmMin + missLat
 	for i, s := range samples {
 		if s.Window.Cycles == 0 {
 			continue
 		}
-		// Eq. 9: IPSw_j = min(IPM_j, IPC_ST_j/F · (CPM_min+Miss_lat)).
+		// Eq. 9: IPSw_j = min(IPM_j, IPC_ST_j/F · wait).
 		// When the formula reaches IPM_j, miss-induced switches alone
 		// already produce that average ("there is no way to increase
 		// IPSw_j to a value greater than IPM_j"), so no forced switch
 		// points are needed — enforcing IPM_j with a deficit counter
 		// would instead fire in every shorter-than-average miss gap
 		// and penalize naturally fair pairs.
-		raw := s.EstST / p.F * (cpmMin + missLat)
+		raw := s.EstST / p.F * wait
 		if raw < s.IPM {
 			q[i] = raw
 		}
@@ -123,7 +145,12 @@ type TimeShare struct {
 // Name implements Policy.
 func (p TimeShare) Name() string { return "time-share" }
 
-// Quotas implements Policy.
+// Quotas implements Policy. QuotaCycles is a per-visit residency
+// target, so it is deliberately independent of the thread count: with
+// N threads each visit is still capped at QuotaCycles, and a thread
+// simply waits through N-1 such visits per round. The conversion to an
+// instruction quota is per-thread (each thread's own windowed IPC), so
+// the policy is N-aware without any pair-specific term.
 func (p TimeShare) Quotas(samples []ThreadSample, missLat float64) []float64 {
 	q := make([]float64, len(samples))
 	if len(samples) < 2 || p.QuotaCycles <= 0 {

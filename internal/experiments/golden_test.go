@@ -244,3 +244,160 @@ func TestGoldenDetectsQuotaPerturbation(t *testing.T) {
 			res.Switches.Quota, pr.ByF[1].Switches.Quota)
 	}
 }
+
+// quadMix is the 4-thread starvation workload: one missy thread (gcc,
+// the Example 1 victim) against three compute-bound hogs. Under
+// event-only SOE the hogs almost never yield, so gcc starves harder
+// than in the pair case.
+func quadMix() []string { return []string{"gcc", "eon", "gzip", "crafty"} }
+
+// runQuad runs the quad mix under policy and returns the achieved
+// min-over-pairs fairness plus the per-thread speedups.
+func runQuad(t *testing.T, policy core.Policy) (float64, []float64, *sim.Result) {
+	t.Helper()
+	opts := testOptions()
+	m := opts.Machine
+	m.Controller.Policy = policy
+	var threads []sim.ThreadSpec
+	for i, n := range quadMix() {
+		threads = append(threads, sim.ThreadSpec{Profile: workload.MustByName(n), Slot: i})
+	}
+	res, err := sim.Run(sim.Spec{Machine: m, Threads: threads, Scale: opts.Scale, Watchdog: opts.Watchdog})
+	if err != nil {
+		t.Fatalf("quad run (%s): %v", policy.Name(), err)
+	}
+	ipc := make([]float64, len(threads))
+	st := make([]float64, len(threads))
+	for i, ts := range threads {
+		ipc[i] = res.Threads[i].IPC
+		ref, err := sim.RunSingle(opts.Machine, ts, opts.Scale)
+		if err != nil {
+			t.Fatalf("single-thread reference %s: %v", ts.Profile.Name, err)
+		}
+		st[i] = ref.Threads[0].IPC
+	}
+	sp := core.Speedups(ipc, st)
+	return core.FairnessMetric(sp), sp, res
+}
+
+// TestGoldenQuadStarvation extends the Example 1 invariant to N = 4
+// (this PR's golden-suite satellite): event-only SOE starves the missy
+// thread among three hogs, and both the generalized Fairness policy
+// and GroupedFairness recover a min-over-pairs fairness decisively
+// above the event-only floor — the N-thread analogue of the Table 2
+// fairness floor at F=0 (0.11).
+func TestGoldenQuadStarvation(t *testing.T) {
+	fair0, sp0, _ := runQuad(t, core.EventOnly{})
+	t.Logf("quad event-only: speedups = %.3f, fairness = %.3f", sp0, fair0)
+	// gcc must be the starved minimum by a wide margin. With 4-way
+	// sharing even the hogs sit well below their single-thread pace
+	// (each gets at most ~1/4 of the core), so the invariant is
+	// relative: every co-runner beats the missy thread at least 2x.
+	if !(sp0[0] < 0.1) {
+		t.Errorf("gcc speedup at F=0 = %.3f, want < 0.1 (starved among 3 hogs)", sp0[0])
+	}
+	for i, s := range sp0[1:] {
+		if !(s > 2*sp0[0]) {
+			t.Errorf("hog %s speedup at F=0 = %.3f, want > 2x the missy thread's %.3f", quadMix()[i+1], s, sp0[0])
+		}
+	}
+	if !(fair0 < 0.11) {
+		t.Errorf("quad fairness at F=0 = %.3f, want < 0.11 (below the Table 2 pair floor)", fair0)
+	}
+
+	fairF, spF, resF := runQuad(t, core.Fairness{F: 1})
+	t.Logf("quad fairness F=1: speedups = %.3f, fairness = %.3f, forced = %d",
+		spF, fairF, resF.Switches.Forced())
+	for _, v := range quadInvariant(fair0, fairF) {
+		t.Errorf("fairness policy: %s", v)
+	}
+
+	fairG, spG, resG := runQuad(t, core.GroupedFairness{F: 1, MissyWeight: 2, FriendlyWeight: 1})
+	t.Logf("quad grouped F=1: speedups = %.3f, fairness = %.3f, forced = %d",
+		spG, fairG, resG.Switches.Forced())
+	for _, v := range quadInvariant(fair0, fairG) {
+		t.Errorf("grouped-fairness policy: %s", v)
+	}
+}
+
+// visitShare returns thread i's fraction of all completed dispatches.
+func visitShare(res *sim.Result, i int) float64 {
+	var total uint64
+	for _, tr := range res.Threads {
+		total += tr.Visits
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(res.Threads[i].Visits) / float64(total)
+}
+
+// quadInvariant is the N = 4 starvation bound from the issue: an
+// enforcing policy must lift min-over-pairs fairness decisively above
+// the event-only value AND above the Table 2 F=0 floor (0.11).
+func quadInvariant(fair0, fair float64) []string {
+	var bad []string
+	bad = append(bad, enforcementInvariant(fair0, fair)...)
+	if !(fair > 0.11) {
+		bad = append(bad, fmt.Sprintf("quad fairness = %.3f, want > 0.11 (the Table 2 F=0 floor)", fair))
+	}
+	return bad
+}
+
+// TestGoldenQuadDetectsMisgrouping is the negative control demanded by
+// the issue: a deliberately mis-grouped GroupedFairness must fail the
+// 4-thread starvation invariant that the correctly grouped policy
+// passes. Invert swaps each thread's group at lookup time, which flips
+// BOTH halves of the policy: the hogs inherit the missy floor (tight
+// quotas, over-enforcement) and — decisively — the grant boost meant
+// for the missy thread. The weight ratio is chosen above the quad
+// mix's visit-length asymmetry (hog visits run ~20-30x longer than
+// gcc's ~1k-cycle miss distance, so WFQ credit ordering alone shields
+// gcc up to roughly that ratio): at 64:1 the inverted weights overcome
+// it, the hogs win nearly every grant, and gcc re-starves. If this
+// test fails, the quad golden has lost its power to detect a broken
+// grouping. CPMSplit is pinned between gcc (CPM ~1k) and the
+// friendliest hog (gzip, ~5k) so both arms compare the same
+// classification.
+func TestGoldenQuadDetectsMisgrouping(t *testing.T) {
+	base := core.GroupedFairness{F: 1, CPMSplit: 3000, MissyWeight: 64, FriendlyWeight: 1}
+	inv := base
+	inv.Invert = true
+
+	fair0, _, _ := runQuad(t, core.EventOnly{})
+	fairOK, spOK, resOK := runQuad(t, base)
+	fairInv, spInv, resInv := runQuad(t, inv)
+	t.Logf("quad grouped: correct fairness = %.3f %.3f (forced %d), inverted = %.3f %.3f (forced %d), event-only %.3f",
+		fairOK, spOK, resOK.Switches.Forced(), fairInv, spInv, resInv.Switches.Forced(), fair0)
+
+	// The correctly grouped run passes the starvation invariant...
+	if bad := quadInvariant(fair0, fairOK); len(bad) != 0 {
+		t.Fatalf("correctly grouped run unexpectedly fails the invariant: %v", bad)
+	}
+	// ...and the mis-grouped run must fail it decisively.
+	if bad := quadInvariant(fair0, fairInv); len(bad) == 0 {
+		t.Fatalf("mis-grouped GroupedFairness passed the quad invariant (fairness %.3f vs F=0 %.3f, correct %.3f); negative control inert",
+			fairInv, fair0, fairOK)
+	}
+	if !(fairInv < fairOK/2) {
+		t.Errorf("inverted fairness %.3f not decisively below correct %.3f", fairInv, fairOK)
+	}
+	// Mechanism signatures. Grants: the inverted weights strip the
+	// missy thread's grant preference. Absolute visit counts are
+	// confounded by the inverted run's much higher total switch volume
+	// (over-enforced hogs force-switch constantly), so compare gcc's
+	// SHARE of completed dispatches instead.
+	okShare := visitShare(resOK, 0)
+	invShare := visitShare(resInv, 0)
+	if !(invShare < okShare/2) {
+		t.Errorf("missy visit share: inverted %.3f vs correct %.3f; mis-grouping must throttle its grants",
+			invShare, okShare)
+	}
+	// Quotas: the hogs inherit the missy floor, so the inverted run
+	// over-enforces — floor mis-grouping costs throughput (forced
+	// switch churn) on top of the fairness loss.
+	if resInv.Switches.Forced() <= resOK.Switches.Forced() {
+		t.Errorf("forced switches: inverted %d vs correct %d; inverted floors must over-enforce the hogs",
+			resInv.Switches.Forced(), resOK.Switches.Forced())
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"soemt/internal/core"
+	"soemt/internal/sim"
+	"soemt/internal/workload"
+)
+
+// ParseMix resolves a workload list ("gcc:mcf:swim:eon", commas also
+// accepted) into thread specs in slot order. Repeated benchmarks get
+// the paper's 100k-instruction start offset per extra copy so two
+// copies never run in lockstep (§5 of DESIGN.md).
+func ParseMix(arg string) ([]sim.ThreadSpec, error) {
+	sep := ":"
+	if strings.Contains(arg, ",") {
+		sep = ","
+	}
+	var names []string
+	for _, n := range strings.Split(arg, sep) {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return MixSpecs(names)
+}
+
+// MixSpecs builds thread specs from profile names; see ParseMix.
+func MixSpecs(names []string) ([]sim.ThreadSpec, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("empty workload mix")
+	}
+	var specs []sim.ThreadSpec
+	seen := map[string]int{}
+	for i, n := range names {
+		p, ok := workload.ByName(n)
+		if !ok {
+			return nil, fmt.Errorf("unknown profile %q (try soetrace -list)", n)
+		}
+		ts := sim.ThreadSpec{Profile: p, Slot: i}
+		if prev := seen[n]; prev > 0 {
+			ts.StartSeq = uint64(prev) * 100_000
+		}
+		seen[n]++
+		specs = append(specs, ts)
+	}
+	return specs, nil
+}
+
+// RunMix runs the mix on machine m through the cache and returns the
+// result plus per-thread speedups against event-only single-thread
+// references (the Eq. 3 denominators). Reference runs share the cache,
+// so sweeps over a policy parameter pay for them once.
+func RunMix(ctx context.Context, c *Cache, wd sim.Watchdog, m sim.MachineConfig, specs []sim.ThreadSpec, sc sim.Scale) (*sim.Result, []float64, error) {
+	res, err := c.RunSpecContext(ctx, sim.Spec{Machine: m, Threads: specs, Scale: sc, Watchdog: wd})
+	if err != nil {
+		return nil, nil, err
+	}
+	ipc := make([]float64, len(specs))
+	st := make([]float64, len(specs))
+	for i, ts := range specs {
+		ipc[i] = res.Threads[i].IPC
+		refMachine := sim.DefaultMachine()
+		refMachine.Controller.Policy = core.EventOnly{}
+		ref, err := c.RunSpecContext(ctx, sim.Spec{
+			Machine:  refMachine,
+			Threads:  []sim.ThreadSpec{{Profile: ts.Profile, Slot: ts.Slot, StartSeq: ts.StartSeq}},
+			Scale:    sc,
+			Watchdog: wd,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		st[i] = ref.Threads[0].IPC
+	}
+	return res, core.Speedups(ipc, st), nil
+}

@@ -1,0 +1,113 @@
+package hypotheses
+
+import (
+	"fmt"
+
+	"soemt/internal/core"
+	"soemt/internal/sim"
+	"soemt/internal/stats"
+	"soemt/internal/workload"
+)
+
+// wfqSpecs builds n copies of one workload with the deterministic
+// per-copy seed offsets soesweep's thread sweep uses, so the copies
+// are statistically identical but never phase-locked.
+func wfqSpecs(bench string, n int) ([]sim.ThreadSpec, error) {
+	prof, ok := workload.ByName(bench)
+	if !ok {
+		return nil, fmt.Errorf("unknown profile %q", bench)
+	}
+	var specs []sim.ThreadSpec
+	for i := 0; i < n; i++ {
+		p := prof
+		p.Seed += uint64(i) * 7919
+		specs = append(specs, sim.ThreadSpec{Profile: p, Slot: i})
+	}
+	return specs, nil
+}
+
+func wfqExperiment() Experiment {
+	return Experiment{
+		Name:   "wfq",
+		Policy: "wfq",
+		Hypothesis: "With three statistically identical copies of a missy workload, " +
+			"WFQGrant's per-thread credit counters make realized running-cycle " +
+			"shares track the configured grant weights: under weights 8:3:1 the " +
+			"shares are strictly ordered with the heaviest thread earning at least " +
+			"twice the lightest's cycles, and under uniform weights the shares are " +
+			"equal within 25%.",
+		Method: []string{
+			"Three copies of swim (pinned profile seed, +7919·i per-copy offsets so copies are never phase-locked).",
+			"Identical copies isolate the granter: any residency asymmetry is attributable to weights, not workload.",
+			"Fixed-wall protocol: a fixed-work run retires the same Measure target on every thread, equalizing cycle shares by construction, so the run is truncated at a fixed cycle budget instead (Measure unreachable, MaxCycles = 20x the scale's Measure) and shares are compared inside that window.",
+			"Arms: weights 8:3:1 and uniform 1:1:1; shares are per-thread running cycles / total running cycles.",
+			"swim is missy, so grants are frequent and the WFQ credit order gets thousands of decisions per run.",
+			"CLI equivalent: soesim -threads swim,swim,swim -policy wfq -weights 8,3,1",
+		},
+		Run: runWFQ,
+	}
+}
+
+func runWFQ(env Env) (*Outcome, error) {
+	o := &Outcome{Table: stats.NewTable("weights", "thread", "run cycles", "share", "visits")}
+
+	shares := func(weights []float64, label string) ([]float64, error) {
+		specs, err := wfqSpecs("swim", 3)
+		if err != nil {
+			return nil, err
+		}
+		m := sim.DefaultMachine()
+		m.Controller.Policy = core.WFQGrant{Weights: weights}
+		res, err := env.Cache.RunSpecContext(env.Ctx, sim.Spec{
+			Machine: m, Threads: specs, Scale: fixedWall(env.Scale), Watchdog: env.Watchdog,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var total uint64
+		for _, tr := range res.Threads {
+			total += tr.Counters.Cycles
+		}
+		out := make([]float64, len(res.Threads))
+		for i, tr := range res.Threads {
+			out[i] = float64(tr.Counters.Cycles) / float64(total)
+			o.Table.AddRow(label, fmt.Sprintf("%d", i),
+				fmt.Sprintf("%d", tr.Counters.Cycles),
+				fmt.Sprintf("%.3f", out[i]),
+				fmt.Sprintf("%d", tr.Visits))
+		}
+		return out, nil
+	}
+
+	weighted, err := shares([]float64{8, 3, 1}, "8:3:1")
+	if err != nil {
+		return nil, err
+	}
+	uniform, err := shares([]float64{1, 1, 1}, "1:1:1")
+	if err != nil {
+		return nil, err
+	}
+
+	o.check("8:3:1 shares strictly ordered", weighted[0] > weighted[1] && weighted[1] > weighted[2],
+		"shares %.3f > %.3f > %.3f", weighted[0], weighted[1], weighted[2])
+	o.check("heaviest >= 2x lightest", weighted[0] >= 2*weighted[2],
+		"%.3f vs 2x %.3f", weighted[0], weighted[2])
+	umax, umin := uniform[0], uniform[0]
+	for _, s := range uniform[1:] {
+		if s > umax {
+			umax = s
+		}
+		if s < umin {
+			umin = s
+		}
+	}
+	o.check("uniform weights stay balanced", umax <= 1.25*umin,
+		"max share %.3f <= 1.25x min %.3f", umax, umin)
+	o.note("The heavy thread's share saturates near the alternation bound: the " +
+		"controller never re-grants the running thread, so once its weight clears " +
+		"~2x the others it already wins every eligible grant and runs every other " +
+		"visit (~0.42 of cycles). Extra weight beyond that squeezes the LIGHT " +
+		"thread instead — 4:2:1 and 6:2:1 measure identical shares, which is why " +
+		"the falsifiable floor is 2x heavy-over-light, not the ideal 8x.")
+	return o, nil
+}

@@ -13,6 +13,8 @@ package model
 import (
 	"fmt"
 	"math"
+
+	"soemt/internal/stats"
 )
 
 // ThreadParams characterises one thread for the analytical model.
@@ -144,22 +146,12 @@ func (s *System) Predict(f float64) (*Prediction, error) {
 	return p, nil
 }
 
-// fairnessOf is Eq. 4: min over pairs of speedup ratios. Degenerate
-// inputs (non-positive or non-finite speedups) yield 0 rather than a
-// NaN that would otherwise flow to JSON boundaries.
+// fairnessOf is Eq. 4: the min over all thread pairs of speedup
+// ratios, shared with the simulator via stats.MinPairRatio (see its
+// doc for the degenerate-input conventions: <2 threads → 1,
+// non-positive or non-finite → 0).
 func fairnessOf(speedups []float64) float64 {
-	if len(speedups) < 2 {
-		return 1
-	}
-	lo, hi := math.Inf(1), math.Inf(-1)
-	for _, s := range speedups {
-		if !finite(s) || s <= 0 {
-			return 0
-		}
-		lo = math.Min(lo, s)
-		hi = math.Max(hi, s)
-	}
-	return lo / hi
+	return stats.MinPairRatio(speedups)
 }
 
 // ThroughputDelta returns the model-predicted relative throughput

@@ -74,6 +74,19 @@ func TestFastForwardEquivalenceMatrix(t *testing.T) {
 			s.Machine.Controller.SmoothAlpha = 0.4
 			s.Machine.Controller.NaiveDeficit = true
 		})},
+		// N >= 3 zoo cells: the Granter path (WFQ credit bookkeeping and
+		// non-round-robin dispatch), the grouped quota/weight path, and
+		// the Culler path (mask changes, switch suppression, the
+		// single-active fast-forward fallback) each interact with the
+		// skip-clipping logic and must hold the same byte-identical
+		// contract as the seed policies.
+		{"quad-fairness-naware", ffSpec([]string{"gcc", "mcf", "swim", "eon"}, core.Fairness{F: 0.5}, nil)},
+		{"quad-grouped-fairness", ffSpec([]string{"gcc", "mcf", "swim", "eon"},
+			core.GroupedFairness{F: 0.5, MissyWeight: 2, FriendlyWeight: 1}, nil)},
+		{"tri-wfq-weighted", ffSpec([]string{"swim", "gzip", "mcf"},
+			core.WFQGrant{Weights: []float64{3, 1, 1}}, nil)},
+		{"quad-malthusian", ffSpec([]string{"swim", "mcf", "art", "gzip"},
+			core.Malthusian{MinAggFrac: 0.95, ProbeEvery: 3}, nil)},
 	}
 	if len(cases) < 8 {
 		t.Fatalf("equivalence matrix must cover >= 8 specs, has %d", len(cases))

@@ -118,6 +118,35 @@ func Max(xs []float64) float64 {
 	return m
 }
 
+// MinPairRatio is the N-thread fairness metric (paper Eq. 4,
+// generalized): the minimum over all thread pairs (j, k) of the ratio
+// speedup_j / speedup_k. Because every pairwise ratio lo/hi with
+// lo ≤ hi is minimized by the global extremes, the min over all pairs
+// equals min(xs) / max(xs) — O(n), not O(n²). Conventions shared by
+// core.FairnessMetric and the analytical model:
+//
+//   - fewer than two values: 1 (a lone thread is trivially fair);
+//   - any non-positive or non-finite value: 0 (a starved or degenerate
+//     thread is maximally unfair, and NaN must never escape to JSON).
+func MinPairRatio(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 1
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x <= 0 {
+			return 0
+		}
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo / hi
+}
+
 // Counters is the per-thread hardware-counter block from Section 3.1 of
 // the paper: retired instructions, running cycles (excluding switch
 // overhead), and switch-causing last-level cache misses.
