@@ -181,17 +181,18 @@ type Controller struct {
 	cfg     Config
 	threads []*Thread
 
-	now         uint64
-	resetAt     uint64 // cycle of the last stats reset
-	sampleAt    uint64 // cycle of the last Δ sample (or stats reset)
-	truncated   bool   // the last Run hit its maxCycles cap
-	cur         int
-	switches    SwitchStats
-	samples     []Sample
-	missLatSum  float64
-	missLatN    uint64
-	fastForward bool    // Advance may skip provably idle cycle stretches
-	obs         *ctlObs // nil = observability detached (the common case)
+	now          uint64
+	resetAt      uint64 // cycle of the last stats reset
+	sampleAt     uint64 // cycle of the last Δ sample (or stats reset)
+	nextSampleAt uint64 // next Δ boundary (resetAt + k·Delta, k ≥ 1); 0 when Delta == 0
+	truncated    bool   // the last Run hit its maxCycles cap
+	cur          int
+	switches     SwitchStats
+	samples      []Sample
+	missLatSum   float64
+	missLatN     uint64
+	engine       Engine  // idle-stretch engine used by Advance
+	obs          *ctlObs // nil = observability detached (the common case)
 
 	// Policy-zoo mechanism state (DESIGN.md §15). For policies that
 	// implement neither Granter nor Culler, granter and culler stay nil,
@@ -217,6 +218,7 @@ type ctlObs struct {
 
 	swMiss, swQuota, swMaxQ, swPause, swL1 *obs.Counter
 	skipWindows, skipCycles, samples       *obs.Counter
+	cullDemote, cullReact                  *obs.Counter
 }
 
 // SetObserver attaches (or, with nil, detaches) an observability sink.
@@ -239,6 +241,8 @@ func (c *Controller) SetObserver(o *obs.Observer) {
 		skipWindows: reg.Counter("core.skip.windows"),
 		skipCycles:  reg.Counter("core.skip.cycles"),
 		samples:     reg.Counter("core.samples"),
+		cullDemote:  reg.Counter("core.cull.demotions"),
+		cullReact:   reg.Counter("core.cull.reactivations"),
 	}
 }
 
@@ -278,6 +282,9 @@ func NewController(pipe *pipeline.Pipeline, cfg Config, threads []*Thread) (*Con
 		return nil, err
 	}
 	c := &Controller{pipe: pipe, cfg: cfg, threads: threads}
+	if cfg.Delta > 0 {
+		c.nextSampleAt = cfg.Delta
+	}
 	c.active = make([]bool, len(threads))
 	for i := range c.active {
 		c.active[i] = true
@@ -371,19 +378,65 @@ func (c *Controller) pickNext() int {
 	return c.cur
 }
 
-// SetFastForward enables (or disables) the idle-cycle fast-forward
-// path in Advance: stretches where the pipeline provably cannot make
-// progress (IdleScan) are jumped in bulk instead of stepped cycle by
-// cycle. Results are bit-identical either way — the jump is clipped to
-// every boundary a real Step reacts to (Δ-sample edges, the max-cycles
-// quota edge, the head-miss switch trigger, slice budgets and the
-// MaxCycles cap) and the per-cycle counter updates are applied in bulk
-// (see skipIdle). Off by default; sim.RunContext turns it on unless
-// Spec.CycleByCycle asks for the reference engine.
-func (c *Controller) SetFastForward(on bool) { c.fastForward = on }
+// Engine selects how Advance crosses provably idle cycle stretches.
+// All engines produce bit-identical results — the equivalence matrix
+// in internal/sim enforces this — they differ only in cost:
+//
+//   - EngineCycleByCycle is the reference: every cycle is a real Step.
+//   - EngineFastForward certifies idleness with IdleScan, which
+//     recomputes the next-event horizon from scratch at every resume
+//     point.
+//   - EngineEventWheel certifies with WheelScan, which owns the horizon
+//     in a persistent per-stage event heap (DESIGN.md §16) and is the
+//     default production engine.
+type Engine uint8
 
-// FastForward reports whether the idle fast-forward path is enabled.
-func (c *Controller) FastForward() bool { return c.fastForward }
+const (
+	EngineCycleByCycle Engine = iota
+	EngineFastForward
+	EngineEventWheel
+)
+
+// String returns the spec-level engine name.
+func (e Engine) String() string {
+	switch e {
+	case EngineFastForward:
+		return "fast-forward"
+	case EngineEventWheel:
+		return "event-wheel"
+	default:
+		return "cycle-by-cycle"
+	}
+}
+
+// SetEngine selects the idle-stretch engine used by Advance. Stretches
+// where the pipeline provably cannot make progress are jumped in bulk
+// instead of stepped cycle by cycle (except under the cycle-by-cycle
+// reference engine). Results are bit-identical across engines — the
+// jump is clipped to every boundary a real Step reacts to (Δ-sample
+// edges, the max-cycles quota edge, the head-miss switch trigger,
+// slice budgets and the MaxCycles cap) and the per-cycle counter
+// updates are applied in bulk (see skipIdle). Defaults to
+// EngineCycleByCycle; sim.RunContext selects per Spec.Engine.
+func (c *Controller) SetEngine(e Engine) { c.engine = e }
+
+// Engine returns the selected idle-stretch engine.
+func (c *Controller) Engine() Engine { return c.engine }
+
+// SetFastForward enables (or disables) idle-stretch skipping,
+// retained for call sites predating SetEngine: on selects
+// EngineFastForward, off the cycle-by-cycle reference.
+func (c *Controller) SetFastForward(on bool) {
+	if on {
+		c.engine = EngineFastForward
+	} else {
+		c.engine = EngineCycleByCycle
+	}
+}
+
+// FastForward reports whether idle-stretch skipping is enabled under
+// any engine.
+func (c *Controller) FastForward() bool { return c.engine != EngineCycleByCycle }
 
 // MeasuredMissLat returns the mean observed head-stall latency, or the
 // configured constant when measurement is off or empty.
@@ -418,6 +471,9 @@ func (c *Controller) ResetStats() {
 	c.truncated = false
 	c.resetAt = c.now
 	c.sampleAt = c.now
+	if c.cfg.Delta > 0 {
+		c.nextSampleAt = c.now + c.cfg.Delta
+	}
 	c.pipe.ResetMetrics()
 	c.pipe.Hierarchy().ResetStats()
 }
@@ -459,7 +515,7 @@ func (c *Controller) Advance(target, maxCycles, start, budget uint64) bool {
 		if spent >= budget {
 			return false
 		}
-		if c.fastForward {
+		if c.engine != EngineCycleByCycle {
 			// Clip the jump to the slice budget and the MaxCycles cap so
 			// slice boundaries and truncation points match the
 			// cycle-by-cycle engine exactly.
@@ -497,7 +553,7 @@ func (c *Controller) skipIdle(limit uint64) uint64 {
 	multi := len(c.threads) > 1 && c.hasOtherActive()
 
 	// A Step at now itself would sample or force a switch: no skip.
-	if c.cfg.Delta > 0 && c.now > c.resetAt && (c.now-c.resetAt)%c.cfg.Delta == 0 {
+	if c.cfg.Delta > 0 && c.now == c.nextSampleAt {
 		return 0
 	}
 	if multi && cur.quota > 0 && cur.deficit <= 0 && cur.firstRetireSeen {
@@ -508,18 +564,25 @@ func (c *Controller) skipIdle(limit uint64) uint64 {
 		return 0
 	}
 
-	end, rep, idle := c.pipe.IdleScan(c.now)
+	var (
+		end  uint64
+		rep  pipeline.IdleReport
+		idle bool
+	)
+	if c.engine == EngineEventWheel {
+		end, rep, idle = c.pipe.WheelScan(c.now)
+	} else {
+		end, rep, idle = c.pipe.IdleScan(c.now)
+	}
 	if !idle {
 		return 0
 	}
 	if limit < end {
 		end = limit
 	}
-	if c.cfg.Delta > 0 {
-		// Stop at the next Δ boundary so the Step there samples.
-		if next := c.now + (c.cfg.Delta - (c.now-c.resetAt)%c.cfg.Delta); next < end {
-			end = next
-		}
+	// Stop at the next Δ boundary so the Step there samples.
+	if c.cfg.Delta > 0 && c.nextSampleAt < end {
+		end = c.nextSampleAt
 	}
 	if multi && c.cfg.MaxCyclesQuota > 0 {
 		// Stop at the max-cycles quota edge so the Step there switches.
@@ -603,8 +666,13 @@ func (c *Controller) RunCycles(n uint64) {
 
 // Step advances the machine by one cycle.
 func (c *Controller) Step() {
-	if c.cfg.Delta > 0 && c.now > c.resetAt && (c.now-c.resetAt)%c.cfg.Delta == 0 {
+	// nextSampleAt is the maintained form of the Δ-boundary predicate
+	// (now > resetAt && (now-resetAt)%Delta == 0): cheaper than two
+	// 64-bit divisions per cycle, and exact because now never jumps a
+	// boundary (skipIdle clips to it).
+	if c.now == c.nextSampleAt && c.cfg.Delta > 0 {
 		c.sample()
+		c.nextSampleAt += c.cfg.Delta
 	}
 
 	demandBefore := c.pipe.Metrics.DemandMisses
@@ -787,7 +855,7 @@ func (c *Controller) sample() {
 			c.peakAggIPC = agg
 		}
 		var wasActive []bool
-		if c.granter != nil {
+		if c.granter != nil || c.obs != nil {
 			wasActive = append([]bool(nil), c.active...)
 		}
 		c.culler.Cull(&CullState{
@@ -803,6 +871,18 @@ func (c *Controller) sample() {
 		}
 		if !any {
 			c.active[c.cur] = true
+		}
+		if c.obs != nil {
+			// Mirror effective mask transitions (post empty-mask fixup)
+			// into the registry so tests and dashboards can prove a
+			// Culler policy actually demoted/reactivated mid-run.
+			for i, was := range wasActive {
+				if was && !c.active[i] {
+					c.obs.cullDemote.Inc()
+				} else if !was && c.active[i] {
+					c.obs.cullReact.Inc()
+				}
+			}
 		}
 		if c.granter != nil {
 			// Start-time-fair-queueing catch-up: a reactivated thread

@@ -146,6 +146,21 @@ const (
 	NumPorts
 )
 
+// PortMask holds PortsFor as a bitmask over port numbers (bit p set
+// iff Port(p) can execute the kind; zero for kinds that occupy no
+// port). Iterating its set bits from the LSB visits ports in the same
+// order PortsFor lists them — hot paths rely on that to replicate the
+// port-claim order of the slice-based API exactly.
+var PortMask = func() [NumKinds]uint8 {
+	var m [NumKinds]uint8
+	for k := Kind(0); k < NumKinds; k++ {
+		for _, p := range PortsFor(k) {
+			m[k] |= 1 << uint(p)
+		}
+	}
+	return m
+}()
+
 // PortsFor returns the set of ports that can execute kind k.
 // Nop and Pause occupy no port (they complete at issue).
 func PortsFor(k Kind) []Port {

@@ -12,6 +12,8 @@
 // and distinct misses serialize on the bus.
 package mem
 
+import "soemt/internal/arena"
+
 // CacheConfig describes one cache level.
 type CacheConfig struct {
 	Name     string
@@ -67,12 +69,18 @@ type Cache struct {
 // CacheConfig.Validate) is a configuration error and is returned, not
 // panicked, so bad CLI flags and sweep values surface cleanly.
 func NewCache(cfg CacheConfig) (*Cache, error) {
+	return NewCacheIn(nil, cfg)
+}
+
+// NewCacheIn builds a cache whose tag arrays are carved from a (nil =
+// plain heap allocation; see internal/arena).
+func NewCacheIn(a *arena.Arena, cfg CacheConfig) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	nSets := cfg.Sets()
-	sets := make([][]cacheLine, nSets)
-	backing := make([]cacheLine, nSets*cfg.Ways)
+	sets := arena.Slice[[]cacheLine](a, nSets)
+	backing := arena.Slice[cacheLine](a, nSets*cfg.Ways)
 	for i := range sets {
 		sets[i], backing = backing[:cfg.Ways:cfg.Ways], backing[cfg.Ways:]
 	}

@@ -1,5 +1,7 @@
 package mem
 
+import "soemt/internal/arena"
+
 // Bus models the pipelined front-side bus between the L2 cache and
 // memory: transfers may overlap with memory access latency, but bus
 // occupancy slots serialize.
@@ -98,26 +100,35 @@ type Hierarchy struct {
 // (see HierarchyConfig.Validate) is returned as an error, not
 // panicked, so bad CLI flags and sweep values surface cleanly.
 func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	return NewHierarchyIn(nil, cfg)
+}
+
+// NewHierarchyIn builds a hierarchy whose cache and TLB arrays are
+// carved from a (nil = plain heap allocation). With a recycled arena
+// the construction allocates only the structure headers and the MSHR
+// map, so repeated runs (sweeps, equivalence matrices) stop churning
+// the multi-megabyte tag arrays through the garbage collector.
+func NewHierarchyIn(a *arena.Arena, cfg HierarchyConfig) (*Hierarchy, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	l1i, err := NewCache(cfg.L1I)
+	l1i, err := NewCacheIn(a, cfg.L1I)
 	if err != nil {
 		return nil, err
 	}
-	l1d, err := NewCache(cfg.L1D)
+	l1d, err := NewCacheIn(a, cfg.L1D)
 	if err != nil {
 		return nil, err
 	}
-	l2, err := NewCache(cfg.L2)
+	l2, err := NewCacheIn(a, cfg.L2)
 	if err != nil {
 		return nil, err
 	}
-	itlb, err := NewTLB(cfg.ITLB)
+	itlb, err := NewTLBIn(a, cfg.ITLB)
 	if err != nil {
 		return nil, err
 	}
-	dtlb, err := NewTLB(cfg.DTLB)
+	dtlb, err := NewTLBIn(a, cfg.DTLB)
 	if err != nil {
 		return nil, err
 	}

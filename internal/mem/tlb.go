@@ -1,5 +1,7 @@
 package mem
 
+import "soemt/internal/arena"
+
 // TLBConfig describes a translation lookaside buffer.
 type TLBConfig struct {
 	Name     string
@@ -43,12 +45,18 @@ type TLB struct {
 // NewTLB builds a TLB. Invalid geometry (see TLBConfig.Validate) is a
 // configuration error and is returned, not panicked.
 func NewTLB(cfg TLBConfig) (*TLB, error) {
+	return NewTLBIn(nil, cfg)
+}
+
+// NewTLBIn builds a TLB whose entry arrays are carved from a (nil =
+// plain heap allocation; see internal/arena).
+func NewTLBIn(a *arena.Arena, cfg TLBConfig) (*TLB, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	nSets := cfg.Entries / cfg.Ways
-	sets := make([][]tlbEntry, nSets)
-	backing := make([]tlbEntry, nSets*cfg.Ways)
+	sets := arena.Slice[[]tlbEntry](a, nSets)
+	backing := arena.Slice[tlbEntry](a, nSets*cfg.Ways)
 	for i := range sets {
 		sets[i], backing = backing[:cfg.Ways:cfg.Ways], backing[cfg.Ways:]
 	}

@@ -16,7 +16,7 @@ const obsScenarioName = "obs-overhead-gcc-eon"
 
 // ObsOverheadSpec returns the spec the observability-overhead
 // measurement runs: the gcc:eon pair under full F=1 enforcement on the
-// production (fast-forward) engine. The pair switches, samples and
+// production (default event-wheel) engine. The pair switches, samples and
 // recomputes quotas constantly, so it exercises every event site the
 // tracer and registry hook; a miss-bound pair would instead spend its
 // time inside skipIdle where observability costs nothing.
@@ -78,6 +78,12 @@ func MeasureObsOverhead(ctx context.Context, r *Report, scale sim.Scale, rounds 
 	}
 	off, on := best["obs-off"], best["obs-on"]
 	r.Entries = append(r.Entries, off, on)
+	if off.Seconds <= 0 {
+		// A ~0s obs-off wall time would make the ratio +Inf/NaN, which
+		// encoding/json refuses to marshal — the whole report write
+		// would fail long after the measurement ran.
+		return 0, fmt.Errorf("perf: obs-off run measured no wall time; overhead ratio undefined")
+	}
 	ratio := on.Seconds / off.Seconds
 	if r.ObsOverhead == nil {
 		r.ObsOverhead = map[string]float64{}

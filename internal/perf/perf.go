@@ -14,6 +14,7 @@ package perf
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -72,6 +73,35 @@ func NewReport(scale string) *Report {
 	}
 }
 
+// memDelta returns after-before clamped at zero. runtime.MemStats
+// counters are cumulative and should only grow, but a clamped delta
+// costs nothing and keeps a report free of 2^64-ish garbage if a
+// counter ever goes backwards (stats snapshotted around a GC, or a
+// future runtime changing counter semantics). A nonsense alloc column
+// is worse than a zero: it poisons report diffs silently.
+func memDelta(after, before uint64) uint64 {
+	if after < before {
+		return 0
+	}
+	return after - before
+}
+
+// rate returns n/secs, or 0 when the elapsed time is too small (or
+// negative, after clock steps) to produce a finite, meaningful rate.
+// Without the guard a ~0s run writes +Inf into BENCH_<n>.json, which
+// is not valid JSON (encoding/json rejects it) and would poison every
+// later Compare against that report.
+func rate(n uint64, secs float64) float64 {
+	if secs <= 0 {
+		return 0
+	}
+	r := float64(n) / secs
+	if math.IsInf(r, 0) || math.IsNaN(r) {
+		return 0
+	}
+	return r
+}
+
 // Measure times fn and fills a raw Entry. fn returns the simulated
 // cycle and instruction counts of the run it performed. Allocation
 // deltas come from runtime.MemStats and include everything fn did.
@@ -92,21 +122,42 @@ func Measure(scenario, engine string, fn func() (cycles, instrs uint64, err erro
 		Seconds:      secs,
 		SimCycles:    cycles,
 		Instrs:       instrs,
-		AllocBytes:   after.TotalAlloc - before.TotalAlloc,
-		AllocObjects: after.Mallocs - before.Mallocs,
+		AllocBytes:   memDelta(after.TotalAlloc, before.TotalAlloc),
+		AllocObjects: memDelta(after.Mallocs, before.Mallocs),
 	}
-	if secs > 0 {
-		e.CyclesPerSec = float64(cycles) / secs
-		e.InstrsPerSec = float64(instrs) / secs
-	}
+	e.CyclesPerSec = rate(cycles, secs)
+	e.InstrsPerSec = rate(instrs, secs)
 	return e, nil
 }
 
-// Add appends an entry and refreshes the scenario's speedup if both
-// engines are now present.
+// MeasureN runs Measure iters times and returns the median-by-wall-time
+// entry. Single timed runs on a shared host swing by double-digit
+// percentages; the median of three or more is stable enough to gate
+// on. iters < 1 is treated as 1.
+func MeasureN(scenario, engine string, iters int, fn func() (cycles, instrs uint64, err error)) (Entry, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	entries := make([]Entry, 0, iters)
+	for i := 0; i < iters; i++ {
+		e, err := Measure(scenario, engine, fn)
+		if err != nil {
+			return Entry{}, err
+		}
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Seconds < entries[j].Seconds })
+	return entries[len(entries)/2], nil
+}
+
+// Add appends an entry and refreshes the scenario's speedups against
+// the cycle-by-cycle reference as engine pairs complete: the
+// fast-forward ratio keeps its historical bare-scenario key, the
+// event-wheel ratio goes under "<scenario>@event-wheel". Old baselines
+// without wheel keys stay comparable — Compare walks baseline keys.
 func (r *Report) Add(e Entry) {
 	r.Entries = append(r.Entries, e)
-	var ff, ref *Entry
+	var ff, wheel, ref *Entry
 	for i := range r.Entries {
 		en := &r.Entries[i]
 		if en.Scenario != e.Scenario {
@@ -115,15 +166,23 @@ func (r *Report) Add(e Entry) {
 		switch en.Engine {
 		case "fast-forward":
 			ff = en
+		case "event-wheel":
+			wheel = en
 		case "cycle-by-cycle":
 			ref = en
 		}
 	}
-	if ff != nil && ref != nil && ff.Seconds > 0 {
-		if r.Speedups == nil {
-			r.Speedups = map[string]float64{}
-		}
+	if ref == nil {
+		return
+	}
+	if r.Speedups == nil {
+		r.Speedups = map[string]float64{}
+	}
+	if ff != nil && ff.Seconds > 0 {
 		r.Speedups[e.Scenario] = ref.Seconds / ff.Seconds
+	}
+	if wheel != nil && wheel.Seconds > 0 {
+		r.Speedups[e.Scenario+"@event-wheel"] = ref.Seconds / wheel.Seconds
 	}
 }
 
@@ -151,6 +210,39 @@ func (r *Report) WriteFile(path string) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
+// ResolveBaseline turns a baseline argument into a concrete report
+// path. A file path is returned as-is; a directory resolves to its
+// highest-numbered BENCH_<n>.json, so a CI gate pointed at the repo
+// root always compares against the newest committed report without
+// anyone editing the workflow when BENCH_<n+1>.json lands.
+func ResolveBaseline(path string) (string, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return "", err
+	}
+	if !info.IsDir() {
+		return path, nil
+	}
+	matches, err := filepath.Glob(filepath.Join(path, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, m := range matches {
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(m), "BENCH_%d.json", &n); err != nil {
+			continue
+		}
+		if n > bestN {
+			best, bestN = m, n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("perf: no BENCH_<n>.json reports in %s", path)
+	}
+	return best, nil
+}
+
 // Load reads a report back.
 func Load(path string) (*Report, error) {
 	b, err := os.ReadFile(path)
@@ -165,8 +257,9 @@ func Load(path string) (*Report, error) {
 }
 
 // Compare checks current against a committed baseline and returns an
-// error describing every scenario whose fast-forward speedup regressed
-// by more than tolerance (e.g. 0.20 = 20%). Scenarios present in only
+// error describing every scenario whose engine speedup (fast-forward
+// or event-wheel, whatever keys the baseline carries) regressed by
+// more than tolerance (e.g. 0.20 = 20%). Scenarios present in only
 // one report are ignored (suites may grow), but an empty intersection
 // is an error — it means the comparison checked nothing.
 func Compare(current, baseline *Report, tolerance float64) error {
@@ -186,7 +279,7 @@ func Compare(current, baseline *Report, tolerance float64) error {
 		checked++
 		if cur < base*(1-tolerance) {
 			problems = append(problems, fmt.Sprintf(
-				"%s: fast-forward speedup %.2fx, baseline %.2fx (allowed floor %.2fx)",
+				"%s: speedup %.2fx, baseline %.2fx (allowed floor %.2fx)",
 				name, cur, base, base*(1-tolerance)))
 		}
 	}

@@ -11,11 +11,16 @@ import (
 )
 
 // Scenario is one benchmarkable simulation spec. The suite runs each
-// scenario under both engines: Spec.CycleByCycle is overridden per run.
+// scenario under every engine: Spec.Engine is overridden per run.
 type Scenario struct {
 	Name string
 	Spec sim.Spec
 }
+
+// Engines lists the execution engines the suite benchmarks, reference
+// first. The names are sim.Spec.Engine values and appear verbatim in
+// report entries.
+var Engines = []string{"cycle-by-cycle", "fast-forward", "event-wheel"}
 
 // DefaultSuite returns the standing benchmark scenarios at the given
 // scale. The mix is deliberate: miss-heavy workloads are where the
@@ -65,18 +70,18 @@ func DefaultSuite(scale sim.Scale) []Scenario {
 	}
 }
 
-// RunSuite benchmarks every scenario under both engines, appending the
-// entries (and derived speedups) to the report. progress, if non-nil,
-// receives a line per completed run.
-func RunSuite(ctx context.Context, r *Report, scenarios []Scenario, progress func(string)) error {
+// RunSuite benchmarks every scenario under every engine, appending the
+// median-of-iters entries (and derived speedups) to the report.
+// progress, if non-nil, receives a line per completed measurement.
+func RunSuite(ctx context.Context, r *Report, scenarios []Scenario, iters int, progress func(string)) error {
 	for _, sc := range scenarios {
-		for _, engine := range []string{"cycle-by-cycle", "fast-forward"} {
+		for _, engine := range Engines {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 			spec := sc.Spec
-			spec.CycleByCycle = engine == "cycle-by-cycle"
-			e, err := Measure(sc.Name, engine, func() (uint64, uint64, error) {
+			spec.Engine = engine
+			e, err := MeasureN(sc.Name, engine, iters, func() (uint64, uint64, error) {
 				res, err := sim.RunContext(ctx, spec)
 				if err != nil {
 					return 0, 0, err
@@ -100,7 +105,8 @@ func RunSuite(ctx context.Context, r *Report, scenarios []Scenario, progress fun
 			}
 		}
 		if progress != nil {
-			progress(fmt.Sprintf("%-28s speedup %.2fx", sc.Name, r.Speedups[sc.Name]))
+			progress(fmt.Sprintf("%-28s speedup ff %.2fx  wheel %.2fx",
+				sc.Name, r.Speedups[sc.Name], r.Speedups[sc.Name+"@event-wheel"]))
 		}
 	}
 	return nil

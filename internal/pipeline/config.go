@@ -85,6 +85,10 @@ func (c Config) Validate() error {
 	if c.DecodeCycles < 0 || c.RedirectPenalty < 0 || c.BTBMissPenalty < 0 {
 		return &ConfigError{Field: "penalties"}
 	}
+	// The issue scheduler packs RS slot indices into 16-bit key fields.
+	if c.RSSize > 1<<16 {
+		return &ConfigError{Field: "RSSize"}
+	}
 	return nil
 }
 

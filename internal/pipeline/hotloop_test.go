@@ -19,7 +19,8 @@ func TestStoreBufferRing(t *testing.T) {
 	next := uint64(0x1000)
 	var expect []uint64
 	for round := 0; round < 300; round++ {
-		p.storeBuf = append(p.storeBuf, storeBufEntry{addr: next, tid: 0})
+		p.sbAddr = append(p.sbAddr, next)
+		p.sbTid = append(p.sbTid, 0)
 		expect = append(expect, next)
 		next += 64
 		if round%2 == 1 {
@@ -29,18 +30,18 @@ func TestStoreBufferRing(t *testing.T) {
 		if p.StoreBufLen() != len(expect) {
 			t.Fatalf("round %d: StoreBufLen = %d, want %d", round, p.StoreBufLen(), len(expect))
 		}
-		if p.sbHead > len(p.storeBuf) {
-			t.Fatalf("round %d: sbHead %d past buffer end %d", round, p.sbHead, len(p.storeBuf))
+		if p.sbHead > len(p.sbAddr) {
+			t.Fatalf("round %d: sbHead %d past buffer end %d", round, p.sbHead, len(p.sbAddr))
 		}
 		// The compaction policy bounds the dead prefix: it is reclaimed
 		// once it reaches 64 entries AND half the backing array.
-		if p.sbHead >= 64 && p.sbHead*2 >= len(p.storeBuf)+2 {
-			t.Fatalf("round %d: dead prefix %d/%d survived compaction", round, p.sbHead, len(p.storeBuf))
+		if p.sbHead >= 64 && p.sbHead*2 >= len(p.sbAddr)+2 {
+			t.Fatalf("round %d: dead prefix %d/%d survived compaction", round, p.sbHead, len(p.sbAddr))
 		}
 		// Live window must match FIFO expectation.
-		for i, sb := range p.storeBuf[p.sbHead:] {
-			if sb.addr != expect[i] {
-				t.Fatalf("round %d: live[%d] = %#x, want %#x", round, i, sb.addr, expect[i])
+		for i, addr := range p.sbAddr[p.sbHead:] {
+			if addr != expect[i] {
+				t.Fatalf("round %d: live[%d] = %#x, want %#x", round, i, addr, expect[i])
 			}
 		}
 		// Forwarding must see exactly the live entries.
@@ -55,9 +56,30 @@ func TestStoreBufferRing(t *testing.T) {
 	for p.StoreBufLen() > 0 {
 		p.dispatchStores(1 << 20)
 	}
-	if len(p.storeBuf) != 0 || p.sbHead != 0 {
-		t.Fatalf("drained buffer not reset: len=%d head=%d", len(p.storeBuf), p.sbHead)
+	if len(p.sbAddr) != 0 || p.sbHead != 0 {
+		t.Fatalf("drained buffer not reset: len=%d head=%d", len(p.sbAddr), p.sbHead)
 	}
+}
+
+// plantROB installs a bare, unissued ALU micro-op at ROB id (test
+// scaffolding for scheduler tests that bypass rename).
+func (p *Pipeline) plantROB(id uint64, u isa.Uop) {
+	s := id & p.robMask
+	p.robUop[s] = u
+	p.robDoneAt[s] = 0
+	p.robFlags[s] = 0
+}
+
+// plantRS installs a ready (operand-free) RS entry in the given slot.
+func (p *Pipeline) plantRS(slot int, robID, seqNum uint64, kind isa.Kind) {
+	p.rsValid[slot>>6] |= 1 << uint(slot&63)
+	p.rsReady[slot>>6] |= 1 << uint(slot&63)
+	p.rsRob[slot] = robID
+	p.rsKey[slot] = seqNum<<keySeqShift | uint64(isa.PortMask[kind])<<keyPortShift | uint64(slot)
+	p.rsHas[slot] = 0
+	p.rsWaitCnt[slot] = 0
+	p.rsWakeAt[slot] = 0
+	p.rsCount++
 }
 
 // TestIssueOldestFirst pins the scheduler's oldest-first selection: with
@@ -72,15 +94,13 @@ func TestIssueOldestFirst(t *testing.T) {
 	seqs := []uint64{30, 10, 20} // slot order deliberately != age order
 	p.nextID = 3
 	for i, id := range ids {
-		e := p.entry(id)
-		*e = robEntry{uop: isa.Uop{Seq: id, Kind: isa.ALU, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone}, id: id}
-		p.rs[i] = rsEntry{valid: true, robID: id, seqNum: seqs[i]}
+		p.plantROB(id, isa.Uop{Seq: id, Kind: isa.ALU, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+		p.plantRS(i, id, seqs[i], isa.ALU)
 	}
-	p.rsCount = 3
 	p.issue(100)
 	issuedSeqs := map[uint64]bool{}
 	for _, id := range ids {
-		if p.entry(id).issued {
+		if p.robFlags[id&p.robMask]&rfIssued != 0 {
 			issuedSeqs[seqByID(seqs, ids, id)] = true
 		}
 	}

@@ -14,6 +14,10 @@ package pipeline
 // so the SOE controller can replicate its per-cycle reaction exactly.
 // Results are bit-identical to cycle-by-cycle execution (verified by
 // the equivalence matrix in internal/sim).
+//
+// WheelScan (wheel.go) is the discrete-event generalization: the same
+// idleness certification, with the horizon owned by a persistent event
+// wheel instead of recomputed ad hoc. DESIGN.md §16 has the contract.
 
 // IdleReport describes the head-of-ROB pending report that retire()
 // would emit on every cycle of an idle window: the next-to-retire
@@ -56,7 +60,7 @@ type IdleReport struct {
 // idle window touch no cache, TLB, MSHR, bus or predictor state.
 
 func (p *Pipeline) IdleScan(now uint64) (horizon uint64, report IdleReport, idle bool) {
-	if p.sbHead != len(p.storeBuf) {
+	if p.sbHead != len(p.sbAddr) {
 		return 0, report, false // store dispatch progresses every cycle
 	}
 	clip := func(t uint64) {
@@ -67,9 +71,10 @@ func (p *Pipeline) IdleScan(now uint64) (horizon uint64, report IdleReport, idle
 
 	// Retirement / injected-event firing.
 	if p.headID < p.nextID {
-		e := p.entry(p.headID)
-		if e.done {
-			t := e.doneAt
+		s := p.headID & p.robMask
+		if p.robFlags[s]&rfDone != 0 {
+			doneAt := p.robDoneAt[s]
+			t := doneAt
 			if p.eventStall > t {
 				t = p.eventStall
 			}
@@ -77,14 +82,14 @@ func (p *Pipeline) IdleScan(now uint64) (horizon uint64, report IdleReport, idle
 				return 0, report, false // head retires (or fires an event) now
 			}
 			clip(t)
-			if e.missFlag || e.l1Flag {
+			if p.robFlags[s]&(rfMiss|rfL1) != 0 {
 				report = IdleReport{
-					Miss:      e.missFlag,
-					L1:        e.l1Flag,
-					Seq:       e.uop.Seq,
-					ResolveAt: e.doneAt,
+					Miss:      p.robFlags[s]&rfMiss != 0,
+					L1:        p.robFlags[s]&rfL1 != 0,
+					Seq:       p.robUop[s].Seq,
+					ResolveAt: doneAt,
 					From:      now,
-					Until:     e.doneAt,
+					Until:     doneAt,
 				}
 				if p.eventStall > report.From {
 					report.From = p.eventStall
@@ -112,12 +117,12 @@ func (p *Pipeline) IdleScan(now uint64) (horizon uint64, report IdleReport, idle
 
 	// Rename.
 	if p.fqCount > 0 {
-		f := &p.fetchQ[p.fqHead]
-		if !p.renameBlocked(f.uop.Kind) {
-			if f.readyAt <= now {
+		h := p.fqHead
+		if !p.renameBlocked(p.fqUop[h].Kind) {
+			if p.fqReadyAt[h] <= now {
 				return 0, report, false // head renames now
 			}
-			clip(f.readyAt)
+			clip(p.fqReadyAt[h])
 		}
 		// Blocked heads accrue RenameStalls ticks (AdvanceIdle) and
 		// unblock only via retire/issue events already in the horizon.
@@ -125,7 +130,7 @@ func (p *Pipeline) IdleScan(now uint64) (horizon uint64, report IdleReport, idle
 
 	// Fetch. Every cycle fetch runs it accesses the icache/iTLB, so a
 	// fetchable front end is never idle.
-	if p.stream != nil && !p.brBlocked && p.fqCount < len(p.fetchQ) {
+	if p.stream != nil && !p.brBlocked && p.fqCount < len(p.fqUop) {
 		if p.fetchStall <= now {
 			return 0, report, false
 		}
@@ -152,11 +157,11 @@ func (p *Pipeline) AdvanceIdle(now, n uint64) {
 	p.Metrics.ROBOccupancy += n * uint64(p.ROBOccupancy())
 	p.Metrics.RSOccupancy += n * uint64(p.rsCount)
 	if p.fqCount > 0 {
-		f := &p.fetchQ[p.fqHead]
-		if p.renameBlocked(f.uop.Kind) {
+		h := p.fqHead
+		if p.renameBlocked(p.fqUop[h].Kind) {
 			from := now
-			if f.readyAt > from {
-				from = f.readyAt
+			if p.fqReadyAt[h] > from {
+				from = p.fqReadyAt[h]
 			}
 			if end := now + n; from < end {
 				p.Metrics.RenameStalls += end - from

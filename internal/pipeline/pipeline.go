@@ -2,50 +2,33 @@ package pipeline
 
 import (
 	"fmt"
+	"math/bits"
 
+	"soemt/internal/arena"
 	"soemt/internal/branch"
 	"soemt/internal/isa"
 	"soemt/internal/mem"
 	"soemt/internal/workload"
 )
 
-// robEntry is one re-order buffer slot.
-type robEntry struct {
-	uop       isa.Uop
-	id        uint64 // monotonic ROB id; slot = id & robMask
-	done      bool
-	issued    bool
-	doneAt    uint64
-	missFlag  bool // execution involved an unresolved L2 miss / walk miss
-	l1Flag    bool // L1 miss that hit in L2 (§6 L1-switching extension)
-	predTaken bool // fetch-time direction prediction (branches)
-}
+// The core's per-entry state lives in struct-of-arrays layout: the hot
+// loops (retire, issue candidate scan, wake-bound computation) each
+// touch one or two fields of many entries, so parallel arrays keep
+// those scans inside a few cache lines instead of striding over full
+// structs. ROB per-entry booleans are packed into one flags byte.
+const (
+	rfDone   uint8 = 1 << iota // result timing known (doneAt valid)
+	rfIssued                   // left the reservation station
+	rfMiss                     // execution involved an unresolved L2/walk miss
+	rfL1                       // L1 miss that hit in L2 (§6 extension)
+	rfPred                     // fetch-time predicted direction (branches)
+)
 
-// rsEntry is one reservation-station slot.
-type rsEntry struct {
-	valid  bool
-	robID  uint64
-	src1   uint64 // producer ROB ids
-	src2   uint64
-	has1   bool
-	has2   bool
-	seqNum uint64 // allocation order for oldest-first scheduling
-}
-
-// fetchedUop is a front-end queue slot.
-type fetchedUop struct {
-	uop       isa.Uop
-	readyAt   uint64 // earliest rename cycle (icache + decode depth)
-	predTaken bool
-}
-
-// storeBufEntry is a retired store awaiting cache dispatch. Entries
-// survive thread switches (the paper: "the store buffer keeps
-// dispatching retired stores even after a flush").
-type storeBufEntry struct {
-	addr uint64
-	tid  int
-}
+// RS per-entry operand-presence bits (rsHas).
+const (
+	rsHas1 uint8 = 1 << iota
+	rsHas2
+)
 
 // InjectedStall is a LIT-style external event: when the architectural
 // instruction counter reaches AtInstr, retirement stalls for
@@ -121,6 +104,29 @@ type CycleResult struct {
 	PauseRetired bool // a PAUSE hint retired this cycle (§6 extension)
 }
 
+type renameEntry struct {
+	id    uint64
+	valid bool
+}
+
+// Packed hot-path words. Both the wake heap and the issue-selection
+// keys pack their fields into one uint64 so heap sifts and selection
+// scans move single words with no pointer-chased side lookups:
+//
+//	wake event:    at<<16 | slot
+//	selection key: seq<<24 | ports<<16 | slot
+//
+// Slots fit 16 bits (RSSize is validated ≤ 64 k) and the seq/at high
+// fields keep full ordering for any realistic run length (2^40+
+// renames / 2^48 cycles). Key comparison orders by seq first; the low
+// bits never matter because seqs are unique.
+const (
+	wakeSlotBits = 16
+	keySlotBits  = 16
+	keyPortShift = keySlotBits
+	keySeqShift  = keySlotBits + 8
+)
+
 // Pipeline is the out-of-order core. It executes one thread at a time
 // (SOE); the controller switches threads with Squash + SetStream.
 type Pipeline struct {
@@ -132,28 +138,64 @@ type Pipeline struct {
 	tid    int
 	stream *workload.Stream
 
-	// ROB ring buffer. The backing array is sized to the next power of
-	// two above ROBSize so the per-lookup ring index is a mask, not a
-	// division; capacity checks still use cfg.ROBSize, and live ids
-	// always span < ROBSize entries, so the wider ring never aliases.
-	rob     []robEntry
-	robMask uint64
-	headID  uint64
-	nextID  uint64
+	// ROB ring buffer, struct-of-arrays. The backing arrays are sized
+	// to the next power of two above ROBSize so the per-lookup ring
+	// index is a mask, not a division; capacity checks still use
+	// cfg.ROBSize, and live ids always span < ROBSize entries, so the
+	// wider ring never aliases.
+	robUop    []isa.Uop
+	robDoneAt []uint64
+	robFlags  []uint8
+	robMask   uint64
+	headID    uint64
+	nextID    uint64
 
-	// Reservation stations and load-buffer occupancy.
-	rs      []rsEntry
+	// Reservation stations, struct-of-arrays. rsValid is a bitmask
+	// (64 slots per word): scans iterate set bits only, and the rename
+	// free-slot search is a find-first-zero instead of a slot walk.
+	// rsKey packs each entry's age and port mask into one selection key
+	// (seq<<24 | ports<<16 | slot) so the issue stage's oldest-first
+	// scan compares single words.
+	rsValid []uint64
+	rsRob   []uint64
+	rsSrc1  []uint64
+	rsSrc2  []uint64
+	rsKey   []uint64
+	rsHas   []uint8
 	rsCount int
 	lbCount int
 
-	// Register rename: logical register -> producing ROB id.
-	renameMap [isa.NumRegs]struct {
-		id    uint64
-		valid bool
-	}
+	// Dataflow wakeup: the issue stage is event-driven, not scan-driven.
+	// rsReady marks entries whose operands are known ready (every
+	// producer's completion time known and reached) — the candidate scan
+	// iterates only these. An entry with unready operands is either
+	//
+	//   timed   — every producer has executed, so its wake time
+	//             (max producer doneAt) is known: it sits in wakeHeap
+	//             and is popped into rsReady when its time arrives; or
+	//   waiting — rsWaitCnt producers have not executed yet: the entry
+	//             is linked into each such producer's waiter list
+	//             (robWaiters, threaded through rsNext1/rsNext2), and
+	//             the producer's execute() resolves it toward timed.
+	//
+	// The transition times reproduce the producerDone predicate exactly,
+	// so issue order and timing are bit-identical to a full per-cycle
+	// scan (pinned by TestIssueWakeCacheTransparent and the §9 matrix).
+	rsReady    []uint64
+	rsWaitCnt  []uint8
+	rsWakeAt   []uint64
+	rsNext1    []int32
+	rsNext2    []int32
+	robWaiters []int32  // per ROB slot: head of waiter list (encoded slot<<1|src), -1 empty
+	wakeHeap   []uint64 // min-heap of packed at<<16|slot wake events
 
-	// Front end.
-	fetchQ       []fetchedUop
+	// Register rename: logical register -> producing ROB id.
+	renameMap [isa.NumRegs]renameEntry
+
+	// Front end (struct-of-arrays ring).
+	fqUop        []isa.Uop
+	fqReadyAt    []uint64
+	fqPred       []bool
 	fqHead       int
 	fqCount      int
 	fetchStall   uint64 // no fetch before this cycle
@@ -175,15 +217,17 @@ type Pipeline struct {
 	issueWakeAt uint64
 
 	// issueCands is per-cycle scratch for the issue stage's single-pass
-	// candidate collection (indices into rs).
-	issueCands []int
+	// candidate collection (packed selection keys; picked entries are
+	// overwritten with ^0, which compares older-than-nothing).
+	issueCands []uint64
 
-	// Store buffer (survives squash). Live entries are
-	// storeBuf[sbHead:]; dispatch advances sbHead in O(1) and the dead
-	// prefix is compacted away periodically, so store-heavy workloads
-	// do not pay a per-dispatch O(n) drain.
-	storeBuf []storeBufEntry
-	sbHead   int
+	// Store buffer (survives squash), struct-of-arrays. Live entries
+	// are indices [sbHead:]; dispatch advances sbHead in O(1) and the
+	// dead prefix is compacted away periodically, so store-heavy
+	// workloads do not pay a per-dispatch O(n) drain.
+	sbAddr []uint64
+	sbTid  []int32
+	sbHead int
 
 	// Architectural position: seq of the next micro-op to retire.
 	nextArchSeq uint64
@@ -193,8 +237,10 @@ type Pipeline struct {
 	eventIdx   int
 	eventStall uint64 // retirement stalled until this cycle
 
-	// Scratch to avoid per-cycle allocation.
-	retireScratch []isa.Uop
+	// wheel is the discrete-event engine's view of the machine's next
+	// state changes (see wheel.go); nil horizon sources are refreshed
+	// by WheelScan.
+	wheel EventWheel
 
 	Metrics Metrics
 }
@@ -202,6 +248,13 @@ type Pipeline struct {
 // New builds a pipeline. Invalid configuration is returned as an
 // error, not panicked.
 func New(cfg Config, hier *mem.Hierarchy, bu *branch.Unit) (*Pipeline, error) {
+	return NewIn(nil, cfg, hier, bu)
+}
+
+// NewIn builds a pipeline whose backing arrays are carved from a (nil =
+// plain heap allocation). With a recycled arena the construction does
+// no steady-state allocations beyond the Pipeline header itself.
+func NewIn(a *arena.Arena, cfg Config, hier *mem.Hierarchy, bu *branch.Unit) (*Pipeline, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -209,16 +262,36 @@ func New(cfg Config, hier *mem.Hierarchy, bu *branch.Unit) (*Pipeline, error) {
 	for robLen < cfg.ROBSize {
 		robLen <<= 1
 	}
-	return &Pipeline{
+	p := &Pipeline{
 		cfg:        cfg,
 		hier:       hier,
 		bu:         bu,
-		rob:        make([]robEntry, robLen),
+		robUop:     arena.Slice[isa.Uop](a, robLen),
+		robDoneAt:  arena.Slice[uint64](a, robLen),
+		robFlags:   arena.Slice[uint8](a, robLen),
 		robMask:    uint64(robLen - 1),
-		rs:         make([]rsEntry, cfg.RSSize),
-		fetchQ:     make([]fetchedUop, cfg.FetchQSize),
-		issueCands: make([]int, 0, cfg.RSSize),
-	}, nil
+		rsValid:    arena.Slice[uint64](a, (cfg.RSSize+63)/64),
+		rsRob:      arena.Slice[uint64](a, cfg.RSSize),
+		rsSrc1:     arena.Slice[uint64](a, cfg.RSSize),
+		rsSrc2:     arena.Slice[uint64](a, cfg.RSSize),
+		rsKey:      arena.Slice[uint64](a, cfg.RSSize),
+		rsHas:      arena.Slice[uint8](a, cfg.RSSize),
+		rsReady:    arena.Slice[uint64](a, (cfg.RSSize+63)/64),
+		rsWaitCnt:  arena.Slice[uint8](a, cfg.RSSize),
+		rsWakeAt:   arena.Slice[uint64](a, cfg.RSSize),
+		rsNext1:    arena.Slice[int32](a, cfg.RSSize),
+		rsNext2:    arena.Slice[int32](a, cfg.RSSize),
+		robWaiters: arena.Slice[int32](a, robLen),
+		fqUop:      arena.Slice[isa.Uop](a, cfg.FetchQSize),
+		fqReadyAt:  arena.Slice[uint64](a, cfg.FetchQSize),
+		fqPred:     arena.Slice[bool](a, cfg.FetchQSize),
+	}
+	for i := range p.robWaiters {
+		p.robWaiters[i] = -1
+	}
+	p.issueCands = arena.Slice[uint64](a, cfg.RSSize)[:0]
+	p.wakeHeap = arena.Slice[uint64](a, cfg.RSSize)[:0]
+	return p, nil
 }
 
 // Config returns the pipeline configuration.
@@ -282,16 +355,24 @@ func (p *Pipeline) SetStream(tid int, s *workload.Stream, startAt uint64) {
 // controller seeks the thread's stream there before switching back in.
 // The store buffer is retained (its entries are architecturally
 // retired).
+//
+// Per-slot ROB/RS payloads are NOT cleared: a slot's contents are only
+// ever read while it is live (rsValid bit set, or id in [headID,
+// nextID)), and allocation rewrites every field it later reads.
 func (p *Pipeline) Squash() uint64 {
 	p.Metrics.Squashed += p.nextID - p.headID + uint64(p.fqCount)
 	p.headID = 0
 	p.nextID = 0
-	for i := range p.rob {
-		p.rob[i] = robEntry{}
+	for i := range p.rsValid {
+		p.rsValid[i] = 0
 	}
-	for i := range p.rs {
-		p.rs[i] = rsEntry{}
+	for i := range p.rsReady {
+		p.rsReady[i] = 0
 	}
+	for i := range p.robWaiters {
+		p.robWaiters[i] = -1
+	}
+	p.wakeHeap = p.wakeHeap[:0]
 	p.rsCount = 0
 	p.issueWakeAt = 0
 	p.lbCount = 0
@@ -317,14 +398,10 @@ func (p *Pipeline) Drained() bool {
 func (p *Pipeline) ROBOccupancy() int { return int(p.nextID - p.headID) }
 
 // StoreBufLen returns the store-buffer occupancy.
-func (p *Pipeline) StoreBufLen() int { return len(p.storeBuf) - p.sbHead }
+func (p *Pipeline) StoreBufLen() int { return len(p.sbAddr) - p.sbHead }
 
 // ResetMetrics clears the metric counters.
 func (p *Pipeline) ResetMetrics() { p.Metrics = Metrics{} }
-
-func (p *Pipeline) entry(id uint64) *robEntry {
-	return &p.rob[id&p.robMask]
-}
 
 // producerDone reports whether the producer with ROB id has produced
 // its result by cycle `now` (retired producers count as done).
@@ -332,8 +409,8 @@ func (p *Pipeline) producerDone(id uint64, now uint64) bool {
 	if id < p.headID {
 		return true // retired
 	}
-	e := p.entry(id)
-	return e.done && e.doneAt <= now
+	s := id & p.robMask
+	return p.robFlags[s]&rfDone != 0 && p.robDoneAt[s] <= now
 }
 
 // Cycle advances the machine by one cycle at global time `now`. Calls
@@ -341,7 +418,7 @@ func (p *Pipeline) producerDone(id uint64, now uint64) bool {
 func (p *Pipeline) Cycle(now uint64) CycleResult {
 	var res CycleResult
 	p.Metrics.Cycles++
-	p.Metrics.ROBOccupancy += uint64(p.ROBOccupancy())
+	p.Metrics.ROBOccupancy += p.nextID - p.headID
 	p.Metrics.RSOccupancy += uint64(p.rsCount)
 	p.retire(now, &res)
 	p.dispatchStores(now)
@@ -358,47 +435,51 @@ func (p *Pipeline) retire(now uint64, res *CycleResult) {
 		return
 	}
 	for retired := 0; retired < p.cfg.RetireWidth && p.headID < p.nextID; retired++ {
-		e := p.entry(p.headID)
-		if !e.done || e.doneAt > now {
-			if e.missFlag && e.doneAt > now {
+		s := p.headID & p.robMask
+		flags := p.robFlags[s]
+		doneAt := p.robDoneAt[s]
+		u := &p.robUop[s]
+		if flags&rfDone == 0 || doneAt > now {
+			if flags&rfMiss != 0 && doneAt > now {
 				res.HeadMissPending = true
-				res.HeadMissSeq = e.uop.Seq
-				res.HeadResolveAt = e.doneAt
-			} else if e.l1Flag && e.doneAt > now {
+				res.HeadMissSeq = u.Seq
+				res.HeadResolveAt = doneAt
+			} else if flags&rfL1 != 0 && doneAt > now {
 				res.HeadL1Pending = true
-				res.HeadMissSeq = e.uop.Seq
-				res.HeadResolveAt = e.doneAt
+				res.HeadMissSeq = u.Seq
+				res.HeadResolveAt = doneAt
 			}
 			return
 		}
 		// Injected external events fire when their instruction reaches
 		// retirement.
-		if p.eventIdx < len(p.events) && e.uop.Seq >= p.events[p.eventIdx].AtInstr {
+		if p.eventIdx < len(p.events) && u.Seq >= p.events[p.eventIdx].AtInstr {
 			p.eventStall = now + p.events[p.eventIdx].StallCycles
 			p.eventIdx++
 			return
 		}
-		if e.uop.Kind == isa.Store {
+		if u.Kind == isa.Store {
 			if p.StoreBufLen() >= p.cfg.StoreBufSize {
 				return // store buffer full: retirement blocks
 			}
-			p.storeBuf = append(p.storeBuf, storeBufEntry{addr: e.uop.Addr, tid: p.tid})
+			p.sbAddr = append(p.sbAddr, u.Addr)
+			p.sbTid = append(p.sbTid, int32(p.tid))
 		}
-		if e.uop.Kind == isa.Load {
+		if u.Kind == isa.Load {
 			p.lbCount--
 		}
-		if e.uop.Kind == isa.Pause {
+		if u.Kind == isa.Pause {
 			res.PauseRetired = true
 		}
 		// Architectural register release.
-		if e.uop.HasDst() {
-			rm := &p.renameMap[e.uop.Dst]
-			if rm.valid && rm.id == e.id {
+		if u.Dst.Valid() {
+			rm := &p.renameMap[u.Dst]
+			if rm.valid && rm.id == p.headID {
 				rm.valid = false
 			}
 		}
 		p.headID++
-		p.nextArchSeq = e.uop.Seq + 1
+		p.nextArchSeq = u.Seq + 1
 		p.Metrics.Retired++
 		res.Retired++
 	}
@@ -406,26 +487,41 @@ func (p *Pipeline) retire(now uint64, res *CycleResult) {
 
 // dispatchStores sends one retired store per cycle to the data cache.
 func (p *Pipeline) dispatchStores(now uint64) {
-	if p.sbHead == len(p.storeBuf) {
+	if p.sbHead == len(p.sbAddr) {
 		return
 	}
-	sb := p.storeBuf[p.sbHead]
-	p.hier.AccessData(now, sb.addr, true)
+	p.hier.AccessData(now, p.sbAddr[p.sbHead], true)
 	p.sbHead++
 	// Reclaim the dead prefix: free immediately when drained, compact
 	// once the prefix dominates the backing array. Amortized O(1).
-	if p.sbHead == len(p.storeBuf) {
-		p.storeBuf = p.storeBuf[:0]
+	if p.sbHead == len(p.sbAddr) {
+		p.sbAddr = p.sbAddr[:0]
+		p.sbTid = p.sbTid[:0]
 		p.sbHead = 0
-	} else if p.sbHead >= 64 && p.sbHead*2 >= len(p.storeBuf) {
-		n := copy(p.storeBuf, p.storeBuf[p.sbHead:])
-		p.storeBuf = p.storeBuf[:n]
+	} else if p.sbHead >= 64 && p.sbHead*2 >= len(p.sbAddr) {
+		n := copy(p.sbAddr, p.sbAddr[p.sbHead:])
+		copy(p.sbTid, p.sbTid[p.sbHead:])
+		p.sbAddr = p.sbAddr[:n]
+		p.sbTid = p.sbTid[:n]
 		p.sbHead = 0
 	}
 }
 
+// portFreeMask returns the set of ports free at cycle now as a bitmask.
+func (p *Pipeline) portFreeMask(now uint64) uint8 {
+	var free uint8
+	for i := range p.portBusy {
+		if p.portBusy[i] <= now {
+			free |= 1 << uint(i)
+		}
+	}
+	return free
+}
+
 // issue selects ready reservation-station entries, oldest first, and
-// begins execution on free ports.
+// begins execution on free ports. Readiness is event-driven: timed
+// entries surface from the wake heap when their cycle arrives, so the
+// per-cycle cost scales with the ready set, not the RS occupancy.
 func (p *Pipeline) issue(now uint64) {
 	if p.rsCount == 0 {
 		return
@@ -433,68 +529,76 @@ func (p *Pipeline) issue(now uint64) {
 	if p.issueWakeAt > now {
 		// No waiting entry can have become ready: producers complete on
 		// fixed doneAt schedules and ports free on fixed busy-until
-		// schedules, both accounted for in the cached wake time.
+		// schedules, both accounted for in the cached wake time. The
+		// wake heap keeps its due entries; they are popped when the
+		// bound (which is <= the heap minimum) is reached.
 		return
 	}
-	// Single cheap pass: collect the candidates — entries whose operand
-	// producers are done and whose port group has a free port now. The
-	// readiness checks short-circuit on the first unmet condition, so a
-	// waiting-heavy RS costs one producer lookup per entry, not a full
-	// wake-bound computation. Producer completion times cannot change
-	// within the cycle (an op issued now finishes strictly later), so
-	// candidacy computed here stays valid across picks — only port
-	// availability must be re-checked as picks occupy ports. A
-	// port-blocked entry cannot join later in the cycle either: port
-	// busy-until times only grow within a cycle.
+	// Promote timed entries whose wake cycle has arrived. The wake time
+	// is exactly the cycle every operand producer satisfies
+	// producerDone, so this reproduces a full readiness scan.
+	for len(p.wakeHeap) > 0 && p.wakeHeap[0]>>wakeSlotBits <= now {
+		slot := p.wakeHeap[0] & (1<<wakeSlotBits - 1)
+		p.heapPop()
+		p.rsReady[slot>>6] |= 1 << (slot & 63)
+	}
+	// Candidates: ready entries whose port group has a free port now.
+	// Port availability cannot improve within the cycle (busy-until
+	// times only grow), so the collected set stays valid across picks;
+	// only the per-pick free mask must be refreshed.
+	free := p.portFreeMask(now)
 	cands := p.issueCands[:0]
-	for i := range p.rs {
-		e := &p.rs[i]
-		if !e.valid {
-			continue
+	for w, word := range p.rsReady {
+		base := w * 64
+		for word != 0 {
+			i := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			key := p.rsKey[i]
+			if uint8(key>>keyPortShift)&free == 0 {
+				continue
+			}
+			cands = append(cands, key)
 		}
-		if e.has1 && !p.producerDone(e.src1, now) {
-			continue
-		}
-		if e.has2 && !p.producerDone(e.src2, now) {
-			continue
-		}
-		if !p.portFree(p.entry(e.robID).uop.Kind, now) {
-			continue
-		}
-		cands = append(cands, i)
 	}
 	if len(cands) == 0 {
-		// Unproductive scan: pay the full wake-bound pass once and cache
-		// the result, so the cycles until then skip the scan entirely.
-		p.issueWakeAt = p.issueHorizon()
+		// Nothing can issue now: cache the earliest future issue bound
+		// so the cycles until then skip this stage entirely.
+		p.issueWakeAt = p.issueBound()
 		return
 	}
 	// Oldest-first picks, exactly as a per-slot selection scan would
 	// make them: the oldest candidate with a free port goes first; a
 	// port-blocked older candidate yields to a younger one whose port
 	// is free. RS is small (tens of entries), so repeated selection
-	// over the candidate list is fine.
-	for len(cands) > 0 {
+	// over the candidate list is fine — the keys are packed words, so
+	// each rescan is a branchy min over one cache line or two. Picked
+	// candidates are overwritten with ^0 (older-than-nothing) in place;
+	// the free mask is maintained by clearing the claimed port's bit
+	// (the claim always busies it past now).
+	remaining := len(cands)
+	for remaining > 0 && free != 0 {
 		best := -1
-		var bestSeq uint64
-		for ci, idx := range cands {
-			e := &p.rs[idx]
-			if best != -1 && e.seqNum >= bestSeq {
+		bestKey := ^uint64(0)
+		for ci, key := range cands {
+			if key >= bestKey {
 				continue
 			}
-			if !p.portFree(p.entry(e.robID).uop.Kind, now) {
+			if uint8(key>>keyPortShift)&free == 0 {
 				continue
 			}
-			best, bestSeq = ci, e.seqNum
+			best, bestKey = ci, key
 		}
 		if best == -1 {
 			break
 		}
-		e := &p.rs[cands[best]]
-		p.execute(now, p.entry(e.robID))
-		*e = rsEntry{}
+		slot := bestKey & (1<<keySlotBits - 1)
+		cands[best] = ^uint64(0)
+		remaining--
+		port := p.execute(now, p.rsRob[slot])
+		free &^= 1 << uint(port)
+		p.rsValid[slot>>6] &^= 1 << (slot & 63)
+		p.rsReady[slot>>6] &^= 1 << (slot & 63)
 		p.rsCount--
-		cands = append(cands[:best], cands[best+1:]...)
 		if p.rsCount == 0 {
 			return
 		}
@@ -505,67 +609,83 @@ func (p *Pipeline) issue(now uint64) {
 	// computed from the post-issue port schedule then.
 }
 
-// issueHorizon returns the earliest cycle at which any waiting
-// reservation-station entry could issue: every operand producer done
-// and an execution port free. Entries whose producers have not
-// themselves issued yet have no bound of their own, but they cannot
-// overtake the returned horizon either — their producer chain bottoms
-// out in an entry whose bound IS included, and a dependent can only
-// issue strictly after its producer. Returns 0 (scan every cycle) in
-// the defensive case where no entry has a computable bound.
-func (p *Pipeline) issueHorizon() uint64 {
-	var horizon uint64
+// issueBound returns the earliest cycle at which any waiting
+// reservation-station entry could issue: the earliest timed wake
+// (heap minimum) or, for ready-but-port-blocked entries, the earliest
+// cycle one of their ports frees. Waiting entries (producers not yet
+// executed) have no bound of their own, but they cannot overtake the
+// returned bound either — their producer chain bottoms out in an entry
+// that IS covered (timed or ready), and a dependent can only issue
+// strictly after its producer. Returns 0 (scan every cycle) in the
+// defensive case where no entry has a computable bound.
+func (p *Pipeline) issueBound() uint64 {
+	var bound uint64
 	found := false
-	for i := range p.rs {
-		e := &p.rs[i]
-		if !e.valid {
-			continue
-		}
-		at, ok := p.entryWakeAt(e)
-		if ok && (!found || at < horizon) {
-			// A bound of 0 ("ready since cycle 0") is a real value, not
-			// the unset sentinel — track foundness separately or a later
-			// entry's larger bound would overwrite it.
-			horizon, found = at, true
-		}
+	if len(p.wakeHeap) > 0 {
+		bound, found = p.wakeHeap[0]>>wakeSlotBits, true
 	}
-	return horizon
-}
-
-// entryWakeAt returns the earliest cycle e could issue, or ok=false
-// when that is not yet computable (an operand producer has not issued,
-// so its completion time is unknown).
-func (p *Pipeline) entryWakeAt(e *rsEntry) (at uint64, ok bool) {
-	if e.has1 {
-		t, known := p.producerReadyAt(e.src1)
-		if !known {
-			return 0, false
-		}
-		if t > at {
-			at = t
-		}
-	}
-	if e.has2 {
-		t, known := p.producerReadyAt(e.src2)
-		if !known {
-			return 0, false
-		}
-		if t > at {
-			at = t
-		}
-	}
-	if ports := isa.PortsFor(p.entry(e.robID).uop.Kind); len(ports) > 0 {
-		free := p.portBusy[ports[0]]
-		for _, port := range ports[1:] {
-			if p.portBusy[port] < free {
-				free = p.portBusy[port]
+	for w, word := range p.rsReady {
+		base := w * 64
+		for word != 0 {
+			i := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			free := ^uint64(0)
+			for m := uint8(p.rsKey[i] >> keyPortShift); m != 0; m &= m - 1 {
+				if b := p.portBusy[bits.TrailingZeros8(m)]; b < free {
+					free = b
+				}
+			}
+			// A bound of 0 is a real value, not the unset sentinel —
+			// track foundness separately.
+			if !found || free < bound {
+				bound, found = free, true
 			}
 		}
-		if free > at {
-			at = free
-		}
 	}
-	return at, true
+	return bound
+}
+
+// heapPush inserts a timed wake (packed at<<16|slot) into the
+// min-heap. Packed comparison orders by wake time; the slot tiebreak
+// is invisible because all due entries are drained together before
+// any selection happens.
+func (p *Pipeline) heapPush(at uint64, slot uint64) {
+	h := append(p.wakeHeap, at<<wakeSlotBits|slot)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] <= h[i] {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	p.wakeHeap = h
+}
+
+// heapPop removes the minimum timed wake.
+func (p *Pipeline) heapPop() {
+	h := p.wakeHeap
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && h[l] < h[min] {
+			min = l
+		}
+		if r < len(h) && h[r] < h[min] {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	p.wakeHeap = h
 }
 
 // producerReadyAt returns the cycle from which producerDone(id, t)
@@ -574,103 +694,126 @@ func (p *Pipeline) producerReadyAt(id uint64) (at uint64, known bool) {
 	if id < p.headID {
 		return 0, true // retired
 	}
-	e := p.entry(id)
-	if !e.done {
+	s := id & p.robMask
+	if p.robFlags[s]&rfDone == 0 {
 		return 0, false
 	}
-	return e.doneAt, true
+	return p.robDoneAt[s], true
 }
 
-func (p *Pipeline) portFree(kind isa.Kind, now uint64) bool {
-	ports := isa.PortsFor(kind)
-	if len(ports) == 0 {
-		return true
-	}
-	for _, port := range ports {
-		if p.portBusy[port] <= now {
-			return true
-		}
-	}
-	return false
-}
-
-func (p *Pipeline) claimPort(kind isa.Kind, now, until uint64) {
-	for _, port := range isa.PortsFor(kind) {
+// claimPort occupies the first free port of kind's group until
+// `until` and returns its number (until is always > now, so the port
+// is busy for the rest of this cycle).
+func (p *Pipeline) claimPort(kind isa.Kind, now, until uint64) int {
+	for m := isa.PortMask[kind]; m != 0; m &= m - 1 {
+		port := bits.TrailingZeros8(m)
 		if p.portBusy[port] <= now {
 			p.portBusy[port] = until
-			return
+			return port
 		}
 	}
 	panic("pipeline: claimPort called with no free port")
 }
 
-// execute starts execution of a ROB entry at cycle now.
-func (p *Pipeline) execute(now uint64, e *robEntry) {
-	e.issued = true
-	kind := e.uop.Kind
+// execute starts execution of the ROB entry with the given id at
+// cycle now, returning the issue port it claimed.
+func (p *Pipeline) execute(now uint64, id uint64) (port int) {
+	s := id & p.robMask
+	u := &p.robUop[s]
+	flags := p.robFlags[s] | rfIssued
+	kind := u.Kind
 	switch kind {
 	case isa.Load:
 		// Forwarding from the store buffer (same thread, same address).
-		if p.forwardable(e.uop.Addr) {
-			e.doneAt = now + 1
+		if p.forwardable(u.Addr) {
+			p.robDoneAt[s] = now + 1
 			p.Metrics.FwdLoads++
 		} else {
-			walk := p.hier.TranslateData(now, e.uop.Addr)
-			acc := p.hier.AccessData(walk.DoneAt, e.uop.Addr, false)
-			e.doneAt = acc.DoneAt
-			e.missFlag = acc.L2Miss || walk.L2Miss
-			e.l1Flag = acc.L1Miss && !e.missFlag
-			if e.missFlag {
+			walk := p.hier.TranslateData(now, u.Addr)
+			acc := p.hier.AccessData(walk.DoneAt, u.Addr, false)
+			p.robDoneAt[s] = acc.DoneAt
+			if acc.L2Miss || walk.L2Miss {
+				flags |= rfMiss
 				p.Metrics.MissFlagged++
 				if (acc.L2Miss && !acc.Coalesced) || walk.L2Miss {
 					p.Metrics.DemandMisses++
 				}
+			} else if acc.L1Miss {
+				flags |= rfL1
 			}
 		}
-		p.claimPort(kind, now, now+1)
+		port = p.claimPort(kind, now, now+1)
 	case isa.Store:
 		// Address generation + translation; data is written at
 		// post-retire dispatch.
-		walk := p.hier.TranslateData(now, e.uop.Addr)
-		e.doneAt = walk.DoneAt
-		if walk.DoneAt <= now {
-			e.doneAt = now + 1
+		walk := p.hier.TranslateData(now, u.Addr)
+		doneAt := walk.DoneAt
+		if doneAt <= now {
+			doneAt = now + 1
 		}
-		e.missFlag = walk.L2Miss
-		if e.missFlag {
+		p.robDoneAt[s] = doneAt
+		if walk.L2Miss {
+			flags |= rfMiss
 			p.Metrics.MissFlagged++
 			p.Metrics.DemandMisses++
 		}
-		p.claimPort(kind, now, now+1)
+		port = p.claimPort(kind, now, now+1)
 	case isa.Branch:
-		e.doneAt = now + uint64(isa.Latency[kind])
-		p.bu.Resolve(e.uop.PC, e.predTaken, e.uop.Taken, e.uop.Target)
-		if p.brBlocked && p.brBlockSeq == e.uop.Seq {
+		doneAt := now + uint64(isa.Latency[kind])
+		p.robDoneAt[s] = doneAt
+		p.bu.Resolve(u.PC, flags&rfPred != 0, u.Taken, u.Target)
+		if p.brBlocked && p.brBlockSeq == u.Seq {
 			// Mispredict resolved: redirect the front end.
 			p.brBlocked = false
-			resume := e.doneAt + uint64(p.cfg.RedirectPenalty)
+			resume := doneAt + uint64(p.cfg.RedirectPenalty)
 			if resume > p.fetchStall {
 				p.fetchStall = resume
 			}
 		}
-		p.claimPort(kind, now, now+1)
+		port = p.claimPort(kind, now, now+1)
 	default:
 		lat := uint64(isa.Latency[kind])
-		e.doneAt = now + lat
+		p.robDoneAt[s] = now + lat
 		until := now + 1
 		if !isa.Pipelined(kind) {
-			until = e.doneAt
+			until = now + lat
 		}
-		p.claimPort(kind, now, until)
+		port = p.claimPort(kind, now, until)
 	}
-	e.done = true // result timing carried by doneAt
+	p.robFlags[s] = flags | rfDone // result timing carried by doneAt
+
+	// Wake dependents: the completion time is now known, so every
+	// consumer waiting on this producer moves one step toward timed.
+	// doneAt is always > now (execution takes at least a cycle), so a
+	// fully resolved consumer enters the wake heap, never rsReady
+	// directly.
+	if node := p.robWaiters[s]; node >= 0 {
+		p.robWaiters[s] = -1
+		doneAt := p.robDoneAt[s]
+		for node >= 0 {
+			slot := node >> 1
+			if node&1 == 0 {
+				node = p.rsNext1[slot]
+			} else {
+				node = p.rsNext2[slot]
+			}
+			if doneAt > p.rsWakeAt[slot] {
+				p.rsWakeAt[slot] = doneAt
+			}
+			if p.rsWaitCnt[slot]--; p.rsWaitCnt[slot] == 0 {
+				p.heapPush(p.rsWakeAt[slot], uint64(slot))
+			}
+		}
+	}
+	return port
 }
 
 // forwardable reports whether a load can forward from the store
 // buffer.
 func (p *Pipeline) forwardable(addr uint64) bool {
-	for _, sb := range p.storeBuf[p.sbHead:] {
-		if sb.tid == p.tid && sb.addr == addr {
+	tid := int32(p.tid)
+	for i := p.sbHead; i < len(p.sbAddr); i++ {
+		if p.sbTid[i] == tid && p.sbAddr[i] == addr {
 			return true
 		}
 	}
@@ -695,80 +838,127 @@ func (p *Pipeline) renameBlocked(kind isa.Kind) bool {
 	return kind == isa.Load && p.lbCount >= p.cfg.LoadBufSize
 }
 
+// freeRSSlot returns the lowest-index free reservation-station slot.
+// Callers ensure occupancy < RSSize, so a free slot exists.
+func (p *Pipeline) freeRSSlot() int32 {
+	for w, word := range p.rsValid {
+		if inv := ^word; inv != 0 {
+			i := int32(w*64 + bits.TrailingZeros64(inv))
+			if int(i) < p.cfg.RSSize {
+				return i
+			}
+		}
+	}
+	panic("pipeline: no free reservation station")
+}
+
 // rename moves micro-ops from the fetch queue into the ROB/RS.
 func (p *Pipeline) rename(now uint64) {
 	for n := 0; n < p.cfg.RenameWidth; n++ {
 		if p.fqCount == 0 {
 			return
 		}
-		f := &p.fetchQ[p.fqHead]
-		if f.readyAt > now {
+		h := p.fqHead
+		if p.fqReadyAt[h] > now {
 			return
 		}
-		if p.renameBlocked(f.uop.Kind) {
+		u := &p.fqUop[h]
+		if p.renameBlocked(u.Kind) {
 			p.Metrics.RenameStalls++
 			return
 		}
-		needRS := needsRS(f.uop.Kind)
+		needRS := needsRS(u.Kind)
 
 		id := p.nextID
 		p.nextID++
-		e := p.entry(id)
-		*e = robEntry{uop: f.uop, id: id, predTaken: f.predTaken}
+		s := id & p.robMask
+		p.robUop[s] = *u
+		var flags uint8
+		if p.fqPred[h] {
+			flags = rfPred
+		}
 
 		if needRS {
-			var rse rsEntry
-			rse.valid = true
-			rse.robID = id
-			rse.seqNum = p.rsSeqCounter
+			slot := p.freeRSSlot()
+			p.rsValid[slot>>6] |= 1 << uint(slot&63)
+			p.rsRob[slot] = id
+			p.rsKey[slot] = p.rsSeqCounter<<keySeqShift |
+				uint64(isa.PortMask[u.Kind])<<keyPortShift | uint64(slot)
 			p.rsSeqCounter++
-			if f.uop.Src1.Valid() {
-				if rm := p.renameMap[f.uop.Src1]; rm.valid {
-					rse.src1, rse.has1 = rm.id, true
+			var has uint8
+			waitCnt := uint8(0)
+			var wakeAt uint64
+			if u.Src1.Valid() {
+				if rm := &p.renameMap[u.Src1]; rm.valid {
+					p.rsSrc1[slot] = rm.id
+					has |= rsHas1
+					if t, known := p.producerReadyAt(rm.id); known {
+						if t > wakeAt {
+							wakeAt = t
+						}
+					} else {
+						ps := rm.id & p.robMask
+						p.rsNext1[slot] = p.robWaiters[ps]
+						p.robWaiters[ps] = slot << 1
+						waitCnt++
+					}
 				}
 			}
-			if f.uop.Src2.Valid() {
-				if rm := p.renameMap[f.uop.Src2]; rm.valid {
-					rse.src2, rse.has2 = rm.id, true
+			if u.Src2.Valid() {
+				if rm := &p.renameMap[u.Src2]; rm.valid {
+					p.rsSrc2[slot] = rm.id
+					has |= rsHas2
+					if t, known := p.producerReadyAt(rm.id); known {
+						if t > wakeAt {
+							wakeAt = t
+						}
+					} else {
+						ps := rm.id & p.robMask
+						p.rsNext2[slot] = p.robWaiters[ps]
+						p.robWaiters[ps] = slot<<1 | 1
+						waitCnt++
+					}
 				}
 			}
-			for i := range p.rs {
-				if !p.rs[i].valid {
-					p.rs[i] = rse
-					break
+			p.rsHas[slot] = has
+			p.rsWaitCnt[slot] = waitCnt
+			p.rsWakeAt[slot] = wakeAt
+			if waitCnt == 0 {
+				if wakeAt <= now {
+					p.rsReady[slot>>6] |= 1 << uint(slot&63)
+				} else {
+					p.heapPush(wakeAt, uint64(slot))
 				}
 			}
 			p.rsCount++
-			if p.issueWakeAt != 0 {
-				// The cached wake bound survives the insert. If the new
-				// entry's bound is computable it joins the min; if one of
-				// its producers has not issued yet, that producer is
-				// itself still in the RS and already covered by the
-				// cache, and a dependent can only become ready at its
-				// producer's doneAt, after the producer issues — so it
-				// cannot undercut the cached bound either. A resulting
-				// bound of 0 falls back to scan-every-cycle mode.
-				if at, ok := p.entryWakeAt(&rse); ok && at < p.issueWakeAt {
-					p.issueWakeAt = at
-				}
+			if p.issueWakeAt != 0 && waitCnt == 0 && wakeAt < p.issueWakeAt {
+				// The cached wake bound survives the insert: a resolved
+				// entry joins the min (conservatively ignoring its port
+				// schedule; a bound of 0 falls back to scan-every-cycle
+				// mode). A still-waiting entry cannot undercut the bound —
+				// its unexecuted producer is itself covered by the cache,
+				// and a dependent only becomes ready at its producer's
+				// doneAt, strictly after the producer issues.
+				p.issueWakeAt = wakeAt
 			}
-			if f.uop.Kind == isa.Load {
+			if u.Kind == isa.Load {
 				p.lbCount++
 			}
 		} else {
 			// NOP/PAUSE complete at rename.
-			e.done = true
-			e.doneAt = now + 1
+			flags |= rfDone
+			p.robDoneAt[s] = now + 1
+		}
+		p.robFlags[s] = flags
+
+		if u.Dst.Valid() {
+			p.renameMap[u.Dst] = renameEntry{id: id, valid: true}
 		}
 
-		if f.uop.HasDst() {
-			p.renameMap[f.uop.Dst] = struct {
-				id    uint64
-				valid bool
-			}{id: id, valid: true}
+		p.fqHead++
+		if p.fqHead == len(p.fqUop) {
+			p.fqHead = 0
 		}
-
-		p.fqHead = (p.fqHead + 1) % len(p.fetchQ)
 		p.fqCount--
 	}
 }
@@ -779,11 +969,13 @@ func (p *Pipeline) fetch(now uint64) {
 	if p.stream == nil || p.brBlocked || now < p.fetchStall {
 		return
 	}
-	if p.fqCount >= len(p.fetchQ) {
+	if p.fqCount >= len(p.fqUop) {
 		return
 	}
-	// One icache+iTLB access covers this cycle's fetch group.
-	first := p.stream.Generator().At(p.stream.Pos())
+	// One icache+iTLB access covers this cycle's fetch group. Peek
+	// memoizes the generated micro-op, so the first Next below does not
+	// regenerate it.
+	first := p.stream.Peek()
 	walk := p.hier.TranslateFetch(now, first.PC)
 	acc := p.hier.AccessFetch(walk.DoneAt, first.PC)
 	groupReady := acc.DoneAt + uint64(p.cfg.DecodeCycles)
@@ -792,40 +984,46 @@ func (p *Pipeline) fetch(now uint64) {
 		p.fetchStall = acc.DoneAt
 	}
 
-	for n := 0; n < p.cfg.FetchWidth && p.fqCount < len(p.fetchQ); n++ {
+	for n := 0; n < p.cfg.FetchWidth && p.fqCount < len(p.fqUop); n++ {
 		u := p.stream.Next()
 		p.Metrics.Fetched++
-		f := fetchedUop{uop: u, readyAt: groupReady}
 		if u.Kind == isa.Branch {
-			f.predTaken = p.bu.PredictDirection(u.PC)
-			if f.predTaken != u.Taken {
+			pred := p.bu.PredictDirection(u.PC)
+			if pred != u.Taken {
 				// Mispredict: block fetch until this branch resolves
 				// (flush-younger approximation; see package comment).
 				p.brBlocked = true
 				p.brBlockSeq = u.Seq
-				p.push(f)
+				p.push(u, groupReady, pred)
 				return
 			}
-			if f.predTaken {
+			if pred {
 				if _, hit := p.bu.BTB.Lookup(u.PC); !hit {
 					// Correctly predicted taken but target unknown
 					// until decode: small fetch bubble.
 					p.fetchStall = now + 1 + uint64(p.cfg.BTBMissPenalty)
-					p.push(f)
+					p.push(u, groupReady, pred)
 					return
 				}
 				// Redirect: taken branches end the fetch group.
-				p.push(f)
+				p.push(u, groupReady, pred)
 				return
 			}
+			p.push(u, groupReady, pred)
+			continue
 		}
-		p.push(f)
+		p.push(u, groupReady, false)
 	}
 }
 
-func (p *Pipeline) push(f fetchedUop) {
-	tail := (p.fqHead + p.fqCount) % len(p.fetchQ)
-	p.fetchQ[tail] = f
+func (p *Pipeline) push(u isa.Uop, readyAt uint64, pred bool) {
+	tail := p.fqHead + p.fqCount
+	if tail >= len(p.fqUop) {
+		tail -= len(p.fqUop)
+	}
+	p.fqUop[tail] = u
+	p.fqReadyAt[tail] = readyAt
+	p.fqPred[tail] = pred
 	p.fqCount++
 }
 

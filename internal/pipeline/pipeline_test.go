@@ -433,7 +433,7 @@ func TestNopProfileCompletesWithoutRS(t *testing.T) {
 	// one directly through the fetch queue.
 	g := workload.New(prof)
 	p.SetStream(0, workload.NewStream(g, 0), 0)
-	p.push(fetchedUop{uop: isa.Uop{Seq: 0, Kind: isa.Nop}, readyAt: 0})
+	p.push(isa.Uop{Seq: 0, Kind: isa.Nop}, 0, false)
 	r := CycleResult{}
 	for now := uint64(1); now < 100 && r.Retired == 0; now++ {
 		r = p.Cycle(now)

@@ -1,0 +1,146 @@
+package pipeline
+
+import (
+	"testing"
+
+	"soemt/internal/workload"
+)
+
+// TestWheelScanMatchesIdleScanLockstep is the brute-force cross-check
+// of the discrete-event engine's certification: at EVERY cycle of a
+// real workload drive, WheelScan (persistent event wheel) must return
+// exactly what IdleScan (ad-hoc per-call scan) returns — same idle
+// verdict, same horizon, same head-of-ROB report. The drive follows
+// the controller's skip behavior when both agree, so the wheel is
+// exercised across skip resumes, lazy staleness drops, and injected
+// event stalls, not just on fresh state.
+func TestWheelScanMatchesIdleScanLockstep(t *testing.T) {
+	profiles := []workload.Profile{aluProfile(), missyProfile()}
+	for _, prof := range profiles {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			t.Parallel()
+			p := testMachine()
+			p.SetStream(0, workload.NewStream(workload.New(prof), 0), 0)
+			p.SetEvents([]InjectedStall{
+				{AtInstr: 5_000, StallCycles: 2_000},
+				{AtInstr: 20_000, StallCycles: 700},
+			})
+			var idleSeen, busySeen int
+			now := uint64(0)
+			for now < 120_000 {
+				ih, irep, iidle := p.IdleScan(now)
+				wh, wrep, widle := p.WheelScan(now)
+				if iidle != widle || ih != wh || irep != wrep {
+					t.Fatalf("cycle %d: scans diverge\nIdleScan:  h=%d idle=%v rep=%+v\nWheelScan: h=%d idle=%v rep=%+v",
+						now, ih, iidle, irep, wh, widle, wrep)
+				}
+				if iidle {
+					idleSeen++
+					p.AdvanceIdle(now, ih-now)
+					now = ih
+				} else {
+					busySeen++
+					p.Cycle(now)
+					now++
+				}
+			}
+			// Non-vacuity: the drive must exercise both verdicts.
+			if idleSeen == 0 {
+				t.Fatalf("no idle window certified in %d steps; lockstep check is vacuous", busySeen)
+			}
+			if busySeen == 0 {
+				t.Fatal("no busy cycle executed; lockstep check is vacuous")
+			}
+		})
+	}
+}
+
+// FuzzEventWheel fuzzes the wheel's core invariant: an arbitrary
+// interleaving of Schedule/Cancel/Pop calls must always pop the
+// minimum currently-valid event, exactly once per scheduled source,
+// with stale superseded entries never surfacing.
+func FuzzEventWheel(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x83, 0x10, 0xff, 0x02, 0x20})
+	f.Add([]byte{0x00, 0x00, 0x00, 0xff, 0xff, 0xff})
+	f.Add([]byte{0x81, 0x01, 0x81, 0x02, 0x81, 0x03, 0xff})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var w EventWheel
+		// model[src] mirrors what cur should be (0 = unscheduled).
+		var model [numWheelSrcs]uint64
+		for i := 0; i < len(ops); i++ {
+			op := ops[i]
+			src := uint8(op) % numWheelSrcs
+			switch {
+			case op&0x80 != 0 && op != 0xff:
+				// Schedule at a small positive time derived from the
+				// next byte (collisions and equal times on purpose).
+				at := uint64(1)
+				if i+1 < len(ops) {
+					at += uint64(ops[i+1]) % 97
+					i++
+				}
+				w.Schedule(src, at)
+				model[src] = at
+			case op == 0xff:
+				// Pop and verify against the model minimum.
+				wantAt, wantOK := uint64(0), false
+				for _, at := range model {
+					if at != 0 && (!wantOK || at < wantAt) {
+						wantAt, wantOK = at, true
+					}
+				}
+				at, popped, ok := w.Pop()
+				if ok != wantOK {
+					t.Fatalf("Pop ok=%v, model says %v (model=%v)", ok, wantOK, model)
+				}
+				if !ok {
+					continue
+				}
+				if at != wantAt {
+					t.Fatalf("Pop returned at=%d, model min is %d (model=%v)", at, wantAt, model)
+				}
+				if model[popped] != at {
+					t.Fatalf("Pop returned src=%d at=%d, but model[%d]=%d", popped, at, popped, model[popped])
+				}
+				model[popped] = 0
+			default:
+				w.Cancel(src)
+				model[src] = 0
+			}
+			// Min must always agree with the model without consuming.
+			wantAt, wantOK := uint64(0), false
+			for _, at := range model {
+				if at != 0 && (!wantOK || at < wantAt) {
+					wantAt, wantOK = at, true
+				}
+			}
+			at, src2, ok := w.Min()
+			if ok != wantOK || (ok && (at != wantAt || model[src2] != at)) {
+				t.Fatalf("Min (at=%d src=%d ok=%v) disagrees with model %v", at, src2, ok, model)
+			}
+		}
+		// Drain: pops must come out in nondecreasing time order and
+		// leave the wheel empty.
+		prev := uint64(0)
+		for {
+			at, src, ok := w.Pop()
+			if !ok {
+				break
+			}
+			if at < prev {
+				t.Fatalf("drain pops out of order: %d after %d", at, prev)
+			}
+			if model[src] != at {
+				t.Fatalf("drain popped src=%d at=%d, model=%v", src, at, model)
+			}
+			model[src] = 0
+			prev = at
+		}
+		for src, at := range model {
+			if at != 0 {
+				t.Fatalf("wheel lost scheduled event src=%d at=%d", src, at)
+			}
+		}
+	})
+}

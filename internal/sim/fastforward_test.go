@@ -37,13 +37,15 @@ func ffSpec(names []string, policy core.Policy, mutate func(*Spec)) Spec {
 	return s
 }
 
-// TestFastForwardEquivalenceMatrix asserts the idle fast-forward engine
-// produces byte-identical Results to the cycle-by-cycle reference
+// TestFastForwardEquivalenceMatrix asserts all three engines — the
+// event-wheel production default, the idle fast-forward scanner, and
+// the cycle-by-cycle reference — produce byte-identical Results
 // across a matrix covering missy and non-missy pairs, single-thread
 // reference runs, injected events, F ∈ {0, 1/4, 1/2, 1}, and every
 // controller extension that interacts with the skip logic
 // (MeasureMissLat, SwitchOnL1Miss, CountAllMisses, SmoothAlpha,
-// TimeShare, NaiveDeficit). DESIGN.md §9 documents the contract.
+// TimeShare, NaiveDeficit). DESIGN.md §9 and §16 document the
+// contract.
 func TestFastForwardEquivalenceMatrix(t *testing.T) {
 	cases := []struct {
 		name string
@@ -85,8 +87,11 @@ func TestFastForwardEquivalenceMatrix(t *testing.T) {
 			core.GroupedFairness{F: 0.5, MissyWeight: 2, FriendlyWeight: 1}, nil)},
 		{"tri-wfq-weighted", ffSpec([]string{"swim", "gzip", "mcf"},
 			core.WFQGrant{Weights: []float64{3, 1, 1}}, nil)},
+		// MinAggFrac 1.0 demotes on every sub-peak window, so demotion
+		// AND the ProbeEvery reactivation both provably fire mid-run
+		// (asserted below via the core.cull.* counters).
 		{"quad-malthusian", ffSpec([]string{"swim", "mcf", "art", "gzip"},
-			core.Malthusian{MinAggFrac: 0.95, ProbeEvery: 3}, nil)},
+			core.Malthusian{MinAggFrac: 1, ProbeEvery: 3}, nil)},
 	}
 	if len(cases) < 8 {
 		t.Fatalf("equivalence matrix must cover >= 8 specs, has %d", len(cases))
@@ -95,30 +100,38 @@ func TestFastForwardEquivalenceMatrix(t *testing.T) {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
-			// The fast-forward run carries a live observer (tracer +
-			// registry) while the reference runs bare: a byte-identical
-			// comparison therefore proves BOTH engine equivalence and
-			// that observability never perturbs a result.
+			// The event-wheel run carries a live observer (tracer +
+			// registry) while fast-forward and the reference run bare: a
+			// byte-identical three-way comparison therefore proves engine
+			// equivalence AND that observability never perturbs a result.
 			observer := &obs.Observer{Trace: obs.NewTracer(0), Metrics: obs.NewRegistry()}
-			ff := tc.spec
-			ff.CycleByCycle = false
-			ff.Obs = observer
 			ref := tc.spec
-			ref.CycleByCycle = true
-
-			ffRes, err := Run(ff)
-			if err != nil {
-				t.Fatalf("fast-forward run: %v", err)
-			}
+			ref.Engine = "cycle-by-cycle"
 			refRes, err := Run(ref)
 			if err != nil {
 				t.Fatalf("cycle-by-cycle run: %v", err)
 			}
-			ffJSON := mustResultJSON(t, ffRes)
 			refJSON := mustResultJSON(t, refRes)
-			if string(ffJSON) != string(refJSON) {
-				t.Errorf("fast-forward result diverges from cycle-by-cycle reference\nfast-forward: %s\nreference:    %s",
-					firstDiff(ffJSON, refJSON), firstDiffOther(ffJSON, refJSON))
+
+			var wheelRes *Result
+			for _, engine := range []string{"fast-forward", "event-wheel"} {
+				spec := tc.spec
+				spec.Engine = engine
+				if engine == "event-wheel" {
+					spec.Obs = observer
+				}
+				res, err := Run(spec)
+				if err != nil {
+					t.Fatalf("%s run: %v", engine, err)
+				}
+				if engine == "event-wheel" {
+					wheelRes = res
+				}
+				j := mustResultJSON(t, res)
+				if string(j) != string(refJSON) {
+					t.Errorf("%s result diverges from cycle-by-cycle reference\n%s: %s\nreference:    %s",
+						engine, engine, firstDiff(j, refJSON), firstDiffOther(j, refJSON))
+				}
 			}
 			// The traced run must have produced a non-trivial stream —
 			// otherwise this test could pass with observability dead.
@@ -128,8 +141,19 @@ func TestFastForwardEquivalenceMatrix(t *testing.T) {
 			if got := observer.Metrics.Counter("sim.runs").Load(); got != 1 {
 				t.Errorf("registry sim.runs = %d, want 1", got)
 			}
-			if res, want := observer.Metrics.Counter("sim.wall_cycles").Load(), ffRes.WallCycles; res != want {
+			if res, want := observer.Metrics.Counter("sim.wall_cycles").Load(), wheelRes.WallCycles; res != want {
 				t.Errorf("registry sim.wall_cycles = %d, want %d", res, want)
+			}
+			if tc.name == "quad-malthusian" {
+				// The Malthusian cell must really exercise mid-run
+				// demotion AND reactivation, or its equivalence proof
+				// is vacuous for the Culler path.
+				if d := observer.Metrics.Counter("core.cull.demotions").Load(); d == 0 {
+					t.Error("quad-malthusian run demoted no thread; cell is vacuous")
+				}
+				if r := observer.Metrics.Counter("core.cull.reactivations").Load(); r == 0 {
+					t.Error("quad-malthusian run reactivated no thread; cell is vacuous")
+				}
 			}
 		})
 	}

@@ -8,8 +8,10 @@ package sim
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
+	"soemt/internal/arena"
 	"soemt/internal/branch"
 	"soemt/internal/core"
 	"soemt/internal/isa"
@@ -67,7 +69,7 @@ type ThreadSpec struct {
 
 // Spec describes a complete simulation run.
 //
-// Watchdog, CycleByCycle and Obs are execution policy and
+// Watchdog, Engine, CycleByCycle and Obs are execution policy and
 // observability, not simulation input: they bound, slow or watch the
 // run but never change a produced result, so all are excluded from
 // FingerprintJSON and cache keys.
@@ -77,12 +79,18 @@ type Spec struct {
 	Scale    Scale
 	Watchdog Watchdog
 
-	// CycleByCycle selects the reference engine that executes every
-	// simulated cycle individually, disabling the idle-cycle
-	// fast-forward path (DESIGN.md §9). Both engines produce
+	// Engine names the idle-stretch engine: "event-wheel" (the
+	// default), "fast-forward", or "cycle-by-cycle" (the reference that
+	// executes every simulated cycle individually). All engines produce
 	// bit-identical Results — verified by the equivalence matrix in
 	// fastforward_test.go — so this exists for verification and for
-	// benchmarking the fast-forward speedup itself.
+	// benchmarking the engines against each other (DESIGN.md §9, §16).
+	// Empty defers to the legacy CycleByCycle switch.
+	Engine string
+
+	// CycleByCycle is the pre-Engine form of selecting the reference
+	// engine; it is consulted only when Engine is empty. Retained so
+	// existing call sites and serialized specs keep their meaning.
 	CycleByCycle bool
 
 	// Obs, when non-nil, attaches the observability layer (DESIGN.md
@@ -126,6 +134,10 @@ type Result struct {
 // testHookPostBuild, when non-nil, runs after the machine is built and
 // before measurement — a test seam for the panic-recovery boundary.
 var testHookPostBuild func()
+
+// arenaPool recycles the per-run state arenas across RunContext calls
+// (including concurrent ones — each run checks out its own arena).
+var arenaPool = sync.Pool{New: func() any { return arena.New() }}
 
 // ForcedPer1k returns forced (non-miss) switches per 1000 cycles, the
 // right axis of the paper's Figure 7.
@@ -183,7 +195,19 @@ func RunContext(ctx context.Context, spec Spec) (res *Result, err error) {
 		return nil
 	}
 
-	hier, err := mem.NewHierarchy(spec.Machine.Memory)
+	// Machine-internal state (cache/TLB tag arrays, pipeline SoA
+	// arrays) is carved from a pooled arena so repeated runs reuse the
+	// same backing memory: after the pool warms up, building a machine
+	// is O(1) allocations. Only machine internals live in the arena —
+	// the returned Result, Samples and observer state never do, so
+	// recycling on return cannot alias anything the caller retains.
+	ar := arenaPool.Get().(*arena.Arena)
+	defer func() {
+		ar.Reset()
+		arenaPool.Put(ar)
+	}()
+
+	hier, err := mem.NewHierarchyIn(ar, spec.Machine.Memory)
 	if err != nil {
 		return nil, err
 	}
@@ -193,7 +217,7 @@ func RunContext(ctx context.Context, spec Spec) (res *Result, err error) {
 		spec.Machine.Pipeline.RASDepth,
 		spec.Machine.Pipeline.HistoryBits,
 	)
-	pipe, err := pipeline.New(spec.Machine.Pipeline, hier, bu)
+	pipe, err := pipeline.NewIn(ar, spec.Machine.Pipeline, hier, bu)
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +248,11 @@ func RunContext(ctx context.Context, spec Spec) (res *Result, err error) {
 	if err != nil {
 		return nil, err
 	}
-	ctl.SetFastForward(!spec.CycleByCycle)
+	engine, err := spec.engine()
+	if err != nil {
+		return nil, err
+	}
+	ctl.SetEngine(engine)
 	ctl.SetObserver(spec.Obs)
 	tracer := spec.Obs.Tracer()
 	phaseCause := func(phase string) obs.Cause {

@@ -192,6 +192,7 @@ type Generator struct {
 	strideSeed uint64
 	noiseSeed  uint64
 	dirSeed    uint64
+	siteSeed   uint64 // Sub(dirSeed, "site"), hoisted out of branchTaken
 
 	// Cumulative mix thresholds, ordered as kindOrder.
 	cdf [9]float64
@@ -231,6 +232,7 @@ func NewOffset(prof Profile, slot int) *Generator {
 		strideSeed: rng.Sub(prof.Seed, "stride"),
 		noiseSeed:  rng.Sub(prof.Seed, "noise"),
 		dirSeed:    rng.Sub(prof.Seed, "dir"),
+		siteSeed:   rng.Sub(rng.Sub(prof.Seed, "dir"), "site"),
 	}
 	fr := [9]float64{
 		prof.FracLoad, prof.FracStore, prof.FracBranch, prof.FracMul,
@@ -392,7 +394,7 @@ func (g *Generator) branchTaken(seq uint64) bool {
 		return rng.Uint64At(g.dirSeed, seq)&1 == 0
 	}
 	// Per-site deterministic bias direction.
-	return rng.Float64At(rng.Sub(g.dirSeed, "site"), slot) < g.prof.TakenBias
+	return rng.Float64At(g.siteSeed, slot) < g.prof.TakenBias
 }
 
 // At returns the micro-op at position seq. It is a pure function.
@@ -401,24 +403,20 @@ func (g *Generator) At(seq uint64) isa.Uop {
 	kind := g.kindAt(seq)
 	u := isa.Uop{Seq: seq, PC: g.pcFor(seq), Kind: kind}
 
-	// Dependence structure.
-	dist1 := 1
-	if rng.Float64At(g.chainSeed, seq) >= chainFrac {
-		dist1 = 1 + rng.IntnAt(g.depSeed, seq, g.prof.DepWindow)
-	}
-	dist2 := 1 + rng.IntnAt(g.depSeed, ^seq, g.prof.DepWindow)
-
+	// The dependence-distance draws are positional (pure functions of
+	// seq), so evaluating them lazily per kind changes no generated
+	// value — it only skips hashes whose results the kind discards.
 	switch kind {
 	case isa.Load:
 		u.Dst = destReg(seq)
-		u.Src1 = srcFor(seq, dist1) // address base register
+		u.Src1 = srcFor(seq, g.dist1At(seq, chainFrac)) // address base register
 		u.Src2 = isa.RegNone
 		u.Addr = g.addrFor(seq, pCold)
 		u.Size = 8
 	case isa.Store:
 		u.Dst = isa.RegNone
-		u.Src1 = srcFor(seq, dist1) // data
-		u.Src2 = srcFor(seq, dist2) // address
+		u.Src1 = srcFor(seq, g.dist1At(seq, chainFrac)) // data
+		u.Src2 = srcFor(seq, g.dist2At(seq))            // address
 		u.Addr = g.addrFor(seq, pCold)
 		u.Size = 8
 	case isa.Pause:
@@ -427,7 +425,7 @@ func (g *Generator) At(seq uint64) isa.Uop {
 		u.Src2 = isa.RegNone
 	case isa.Branch:
 		u.Dst = isa.RegNone
-		u.Src1 = srcFor(seq, dist1) // condition
+		u.Src1 = srcFor(seq, g.dist1At(seq, chainFrac)) // condition
 		u.Src2 = isa.RegNone
 		u.Taken = g.branchTaken(seq)
 		if u.Taken {
@@ -439,17 +437,39 @@ func (g *Generator) At(seq uint64) isa.Uop {
 		}
 	default:
 		u.Dst = destReg(seq)
-		u.Src1 = srcFor(seq, dist1)
-		u.Src2 = srcFor(seq, dist2)
+		u.Src1 = srcFor(seq, g.dist1At(seq, chainFrac))
+		u.Src2 = srcFor(seq, g.dist2At(seq))
 	}
 	return u
 }
 
+// dist1At draws the first-source dependence distance at seq.
+func (g *Generator) dist1At(seq uint64, chainFrac float64) int {
+	if rng.Float64At(g.chainSeed, seq) < chainFrac {
+		return 1
+	}
+	return 1 + rng.IntnAt(g.depSeed, seq, g.prof.DepWindow)
+}
+
+// dist2At draws the second-source dependence distance at seq.
+func (g *Generator) dist2At(seq uint64) int {
+	return 1 + rng.IntnAt(g.depSeed, ^seq, g.prof.DepWindow)
+}
+
 // Stream is a positioned cursor over a Generator, used by the pipeline
 // front end. Seek supports post-squash rewind.
+//
+// Peek memoizes the micro-op at the cursor so a Peek-then-Next pair
+// generates it once: the pipeline fetch stage peeks the group head for
+// the icache/iTLB access, then consumes the group, and generation is a
+// non-trivial fraction of busy-path time.
 type Stream struct {
 	gen  *Generator
 	next uint64
+
+	memo    isa.Uop
+	memoSeq uint64
+	hasMemo bool
 }
 
 // NewStream returns a Stream over g starting at position start.
@@ -459,9 +479,25 @@ func NewStream(g *Generator, start uint64) *Stream {
 
 // Next returns the next micro-op and advances the cursor.
 func (s *Stream) Next() isa.Uop {
+	if s.hasMemo && s.memoSeq == s.next {
+		s.next++
+		s.hasMemo = false
+		return s.memo
+	}
 	u := s.gen.At(s.next)
 	s.next++
 	return u
+}
+
+// Peek returns the micro-op the next call to Next will produce,
+// without advancing the cursor.
+func (s *Stream) Peek() isa.Uop {
+	if !s.hasMemo || s.memoSeq != s.next {
+		s.memo = s.gen.At(s.next)
+		s.memoSeq = s.next
+		s.hasMemo = true
+	}
+	return s.memo
 }
 
 // Pos returns the sequence number the next call to Next will produce.
